@@ -1,0 +1,246 @@
+package mpipredict
+
+// This file is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation, plus the analyses of Section 2 and the
+// related-work comparison of Section 6. Each benchmark runs the full
+// class-A-scale experiment once per iteration and attaches the headline
+// quantity of the corresponding table/figure as a custom benchmark metric,
+// so `go test -bench . -benchmem` both times the experiments and reports
+// the reproduced numbers. The textual tables themselves are produced by
+// cmd/mpipredict.
+
+import (
+	"testing"
+
+	"mpipredict/internal/evalx"
+	"mpipredict/internal/predictor"
+	"mpipredict/internal/trace"
+	"mpipredict/internal/workloads"
+)
+
+func benchOpts() EvalOptions {
+	return EvalOptions{Net: DefaultNetworkConfig(), Seed: 1}
+}
+
+// BenchmarkTable1 regenerates Table 1: the per-process message
+// characterisation of every benchmark and process count. The reported
+// metric is the mean relative error of the point-to-point message count
+// against the paper's values.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var relErr float64
+		var n int
+		for _, r := range rows {
+			if r.PaperP2P > 0 {
+				diff := float64(r.P2PMsgs-r.PaperP2P) / float64(r.PaperP2P)
+				if diff < 0 {
+					diff = -diff
+				}
+				relErr += diff
+				n++
+			}
+		}
+		b.ReportMetric(relErr/float64(n), "p2p-relative-error")
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1: the iterative sender and size
+// pattern of BT on 9 processes at process 3. The metric is the detected
+// period (the paper reports 18).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := Figure1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(fig.SenderPeriod), "sender-period")
+		b.ReportMetric(float64(fig.SizePeriod), "size-period")
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2: the logical vs physical sender
+// stream of BT on 4 processes. The metric is the percentage of positions
+// at which the physical arrival order deviates from the logical order.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := Figure2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.MismatchPercent, "reordered-%")
+	}
+}
+
+// BenchmarkFigure3Logical regenerates Figure 3: +1..+5 prediction accuracy
+// of the logical communication for every benchmark and process count. The
+// metrics are the mean and minimum accuracy across all cells.
+func BenchmarkFigure3Logical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logical, _, err := Figures34(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*logical.MeanAccuracy("", SenderStream), "sender-mean-%")
+		b.ReportMetric(100*logical.MeanAccuracy("", SizeStream), "size-mean-%")
+		b.ReportMetric(100*logical.MinAccuracy("", SenderStream), "sender-min-%")
+	}
+}
+
+// BenchmarkFigure4Physical regenerates Figure 4: +1..+5 prediction
+// accuracy of the physical communication. The metrics are the mean
+// accuracy per benchmark, which exposes the ordering the paper describes
+// (LU/CG/Sweep3D stay predictable, BT degrades, IS is the hardest).
+func BenchmarkFigure4Physical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, physical, err := Figures34(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, app := range []string{"bt", "cg", "lu", "is", "sweep3d"} {
+			b.ReportMetric(100*physical.MeanAccuracy(app, SenderStream), app+"-sender-%")
+		}
+	}
+}
+
+// BenchmarkSetAccuracy regenerates the Section 5.3 observation: the
+// order-free accuracy of the next-five-senders forecast at the physical
+// level remains useful even when the exact order does not.
+func BenchmarkSetAccuracy(b *testing.B) {
+	specs := []WorkloadSpec{{Name: "bt", Procs: 9}, {Name: "lu", Procs: 4}, {Name: "is", Procs: 8}}
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			res, err := Evaluate(spec, benchOpts())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*res.SenderSetAccuracy, spec.Name+"-set-%")
+		}
+	}
+}
+
+// BenchmarkMemoryReduction regenerates the Section 2.1 analysis:
+// prediction-driven buffer allocation versus one 16 KB buffer per peer.
+// Metrics: the fast-path rate and the memory reduction factor on the BT.25
+// trace, plus the static memory a 10 000-process job would need (MiB).
+func BenchmarkMemoryReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, err := RunWorkload(WorkloadSpec{Name: "bt", Procs: 25}, DefaultNetworkConfig(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recv, _ := TypicalReceiver("bt", 25)
+		stats, err := ReplayBuffers(tr, recv, BufferConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*stats.FastPathRate(), "fastpath-%")
+		b.ReportMetric(stats.MemoryReductionFactor(), "memory-reduction-x")
+		b.ReportMetric(float64(StaticBufferMemory(10000, 16*1024))/(1<<20), "static-10000procs-MiB")
+	}
+}
+
+// BenchmarkControlFlow regenerates the Section 2.2 analysis: credit-based
+// flow control on a point-to-point benchmark with many peers (BT.25) and
+// on the collective-dominated IS trace (the incast case). The IS number
+// documents the limit of the mechanism when the physical arrival order is
+// unpredictable.
+func BenchmarkControlFlow(b *testing.B) {
+	specs := []WorkloadSpec{{Name: "bt", Procs: 25}, {Name: "is", Procs: 32}}
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			tr, err := RunWorkload(spec, DefaultNetworkConfig(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			recv, _ := TypicalReceiver(spec.Name, spec.Procs)
+			stats, err := ReplayCredits(tr, recv, 0, CreditConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*stats.CreditedRate(), spec.Name+"-credited-%")
+			b.ReportMetric(stats.ExposureReductionFactor(), spec.Name+"-exposure-reduction-x")
+		}
+	}
+}
+
+// BenchmarkRendezvousElimination regenerates the Section 2.3 analysis:
+// how much of the rendezvous handshake latency prediction removes for the
+// large-message benchmarks (BT.4 faces and CG vector segments are above
+// the 16 KB eager limit).
+func BenchmarkRendezvousElimination(b *testing.B) {
+	specs := []WorkloadSpec{{Name: "bt", Procs: 4}, {Name: "cg", Procs: 8}}
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			tr, err := RunWorkload(spec, DefaultNetworkConfig(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			recv, _ := TypicalReceiver(spec.Name, spec.Procs)
+			stats, err := ReplayProtocol(tr, recv, ProtocolConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*stats.EliminationRate(), spec.Name+"-eliminated-%")
+			b.ReportMetric(100*stats.LatencySavingFraction(), spec.Name+"-latency-saved-%")
+		}
+	}
+}
+
+// BenchmarkBaselineComparison regenerates the Section 6 comparison: the
+// DPD predicts several future values, whereas the single-next-value
+// heuristics of the related work cannot answer +5 queries at all and the
+// Markov baselines need chaining. The metric is the +5 sender accuracy of
+// each predictor on the BT.9 logical stream.
+func BenchmarkBaselineComparison(b *testing.B) {
+	spec := workloads.Spec{Name: "bt", Procs: 9}
+	recv, _ := workloads.TypicalReceiver(spec.Name, spec.Procs)
+	for i := 0; i < b.N; i++ {
+		tr, err := RunWorkload(spec, DefaultNetworkConfig(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream := tr.SenderStream(recv, trace.Logical)
+		for _, name := range predictor.Names() {
+			acc := evalx.EvaluateStream(stream, func() predictor.Predictor {
+				p, err := predictor.New(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return p
+			}, 5)
+			b.ReportMetric(100*acc.Accuracy(5), name+"-plus5-%")
+		}
+	}
+}
+
+// BenchmarkAblationLockPolicy compares the full DPD locking policy against
+// ablated variants (no hold-down, no miss-rate relearn, strict-only
+// locking) on a physically perturbed BT.9 stream, documenting why the
+// design choices in DESIGN.md exist.
+func BenchmarkAblationLockPolicy(b *testing.B) {
+	spec := workloads.Spec{Name: "bt", Procs: 9}
+	recv, _ := workloads.TypicalReceiver(spec.Name, spec.Procs)
+	tr, err := RunWorkload(spec, DefaultNetworkConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := tr.SenderStream(recv, trace.Physical)
+	variants := map[string]PredictorConfig{
+		"full":          DefaultPredictorConfig(),
+		"no-hold-down":  func() PredictorConfig { c := DefaultPredictorConfig(); c.HoldDown = 1; return c }(),
+		"strict-only":   func() PredictorConfig { c := DefaultPredictorConfig(); c.LockTolerance = 1e-9; return c }(),
+		"small-window":  func() PredictorConfig { c := DefaultPredictorConfig(); c.WindowSize = 64; c.MaxLag = 24; return c }(),
+		"eager-relearn": func() PredictorConfig { c := DefaultPredictorConfig(); c.RelearnMissRate = 0.05; return c }(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for name, cfg := range variants {
+			acc := evalx.EvaluateStream(stream, func() predictor.Predictor { return predictor.NewDPD(cfg) }, 5)
+			b.ReportMetric(100*acc.Accuracy(1), name+"-%")
+		}
+	}
+}

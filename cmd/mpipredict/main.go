@@ -1,0 +1,111 @@
+// Command mpipredict regenerates the tables and figures of the paper
+// "Exploring the Predictability of MPI Messages" from the simulated
+// benchmarks.
+//
+// Usage:
+//
+//	mpipredict -experiment all
+//	mpipredict -experiment table1
+//	mpipredict -experiment figure3 -seed 7
+//	mpipredict -experiment figure1 -iterations 40 -noiseless
+//
+// Experiments: table1, figure1, figure2, figure3, figure4, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpipredict/internal/evalx"
+	"mpipredict/internal/report"
+	"mpipredict/internal/simnet"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run: table1, figure1, figure2, figure3, figure4, all")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	iterations := flag.Int("iterations", 0, "override the per-workload iteration count (0 = class A defaults)")
+	noiseless := flag.Bool("noiseless", false, "disable network jitter and load imbalance")
+	flag.Parse()
+
+	opts := evalx.Options{Seed: *seed, Iterations: *iterations, Net: simnet.DefaultConfig()}
+	if *noiseless {
+		opts.Net = simnet.NoiselessConfig()
+	}
+
+	if err := run(*experiment, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "mpipredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, opts evalx.Options) error {
+	switch experiment {
+	case "table1":
+		return runTable1(opts)
+	case "figure1":
+		return runFigure1(opts)
+	case "figure2":
+		return runFigure2(opts)
+	case "figure3":
+		return runFigures(opts, true, false)
+	case "figure4":
+		return runFigures(opts, false, true)
+	case "all":
+		if err := runTable1(opts); err != nil {
+			return err
+		}
+		if err := runFigure1(opts); err != nil {
+			return err
+		}
+		if err := runFigure2(opts); err != nil {
+			return err
+		}
+		return runFigures(opts, true, true)
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+func runTable1(opts evalx.Options) error {
+	rows, err := evalx.Table1(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table1(rows))
+	return nil
+}
+
+func runFigure1(opts evalx.Options) error {
+	fig, err := evalx.Figure1(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Figure1(fig))
+	return nil
+}
+
+func runFigure2(opts evalx.Options) error {
+	fig, err := evalx.Figure2(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Figure2(fig, 36))
+	return nil
+}
+
+func runFigures(opts evalx.Options, wantLogical, wantPhysical bool) error {
+	results, err := evalx.SweepAll(opts)
+	if err != nil {
+		return err
+	}
+	logical, physical := evalx.FiguresFromResults(opts, results)
+	if wantLogical {
+		fmt.Println(report.AccuracyFigure(logical))
+	}
+	if wantPhysical {
+		fmt.Println(report.AccuracyFigure(physical))
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Command scalesim explores the three scalability mechanisms of Section 2
+// of the paper on simulated benchmark traces: prediction-driven buffer
+// allocation (memory), credit-based flow control (credits) and rendezvous
+// elimination (protocol).
+//
+// Usage:
+//
+//	scalesim -mode memory   -workload bt -procs 25
+//	scalesim -mode credits  -workload is -procs 32
+//	scalesim -mode protocol -workload lu -procs 4
+//	scalesim -mode static-sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpipredict/internal/report"
+	"mpipredict/internal/scalability"
+	"mpipredict/internal/simnet"
+	"mpipredict/internal/workloads"
+)
+
+func main() {
+	mode := flag.String("mode", "memory", "mechanism to evaluate: memory, credits, protocol, static-sweep")
+	name := flag.String("workload", "bt", "workload name")
+	procs := flag.Int("procs", 25, "number of simulated processes")
+	iterations := flag.Int("iterations", 0, "iteration override (0 = class A default)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *mode == "static-sweep" {
+		staticSweep()
+		return
+	}
+	if err := run(*mode, *name, *procs, *iterations, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "scalesim:", err)
+		os.Exit(1)
+	}
+}
+
+// staticSweep prints the Section 2.1 memory argument: per-process buffer
+// memory of the conventional one-buffer-per-peer scheme as the job grows.
+func staticSweep() {
+	fmt.Println("Static per-peer buffer memory (16 KiB per peer), per process:")
+	for _, procs := range []int{64, 256, 1024, 4096, 10000, 65536} {
+		bytes := scalability.StaticBufferMemory(procs, scalability.DefaultPerPeerBufferBytes)
+		fmt.Printf("%8d processes: %8.1f MiB\n", procs, float64(bytes)/(1<<20))
+	}
+}
+
+func run(mode, name string, procs, iterations int, seed int64) error {
+	spec := workloads.Spec{Name: name, Procs: procs, Iterations: iterations}
+	tr, err := workloads.Run(workloads.RunConfig{Spec: spec, Net: simnet.DefaultConfig(), Seed: seed})
+	if err != nil {
+		return err
+	}
+	receiver, err := workloads.TypicalReceiver(name, procs)
+	if err != nil {
+		return err
+	}
+
+	switch mode {
+	case "memory":
+		stats, err := scalability.ReplayBuffers(tr, receiver, scalability.BufferConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Buffers(name, procs, stats))
+	case "credits":
+		stats, err := scalability.ReplayCredits(tr, receiver, 0, scalability.CreditConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Credits(name, procs, stats))
+	case "protocol":
+		stats, err := scalability.ReplayProtocol(tr, receiver, scalability.ProtocolConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Protocol(name, procs, stats))
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}

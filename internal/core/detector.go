@@ -1,0 +1,226 @@
+package core
+
+import "fmt"
+
+// Detector is the Dynamic Periodicity Detector: it maintains a sliding
+// window of the most recent samples of a stream and, for every candidate
+// lag m in 1..MaxLag, the number of positions at which the window differs
+// from itself shifted by m. A lag with zero mismatches is a period of the
+// window (equation (1) of the paper evaluates to zero).
+//
+// Mismatch counts are maintained incrementally: each Observe call touches
+// only the pairs gained and lost at the window boundaries, so the cost per
+// observation is O(MaxLag) regardless of the window size.
+//
+// Detector is not safe for concurrent use; wrap it if multiple goroutines
+// feed the same stream.
+type Detector struct {
+	cfg      Config
+	win      *ring
+	mismatch []int // mismatch[m] for m in 1..MaxLag (index 0 unused)
+	observed int64 // total samples ever observed
+}
+
+// NewDetector returns a Detector for the given configuration. Zero fields
+// in cfg are replaced by DefaultConfig values; an invalid configuration
+// panics, since it is a programming error rather than a runtime condition.
+func NewDetector(cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Detector{
+		cfg:      cfg,
+		win:      newRing(cfg.WindowSize),
+		mismatch: make([]int, cfg.MaxLag+1),
+	}
+}
+
+// Config returns the configuration the detector was built with (after
+// defaulting).
+func (d *Detector) Config() Config { return d.cfg }
+
+// Len returns the number of samples currently held in the window.
+func (d *Detector) Len() int { return d.win.Len() }
+
+// Observed returns the total number of samples ever observed, including
+// those that have since left the window.
+func (d *Detector) Observed() int64 { return d.observed }
+
+// Window returns a copy of the current window contents, oldest first.
+func (d *Detector) Window() []int64 { return d.win.Snapshot() }
+
+// Reset discards all state, returning the detector to its initial
+// condition without reallocating.
+func (d *Detector) Reset() {
+	d.win.Reset()
+	for i := range d.mismatch {
+		d.mismatch[i] = 0
+	}
+	d.observed = 0
+}
+
+// Observe appends one sample to the window, updating all per-lag mismatch
+// counts incrementally.
+func (d *Detector) Observe(x int64) {
+	n := d.win.Len()
+	if d.win.Full() {
+		// The oldest sample is about to be evicted. For every lag m the
+		// pair in which the evicted sample is the older element — the pair
+		// (window[m], window[0]) — leaves the set of compared positions.
+		for m := 1; m <= d.cfg.MaxLag && m < n; m++ {
+			if d.win.At(m) != d.win.At(0) {
+				d.mismatch[m]--
+			}
+		}
+	}
+	d.win.Push(x)
+	d.observed++
+	n = d.win.Len()
+	// The new sample forms one new pair per lag: (x, window[n-1-m]).
+	for m := 1; m <= d.cfg.MaxLag && m < n; m++ {
+		if x != d.win.At(n-1-m) {
+			d.mismatch[m]++
+		}
+	}
+}
+
+// Distance returns d(m) from equation (1) computed over the current
+// window: the number of positions i for which x[i] != x[i-m]. The result
+// is produced from the incrementally maintained counts; DistanceDirect
+// recomputes it from scratch and is used by the tests to validate the
+// incremental bookkeeping. Distance panics if m is outside 1..MaxLag.
+func (d *Detector) Distance(m int) int {
+	if m < 1 || m > d.cfg.MaxLag {
+		panic(fmt.Sprintf("core: Distance lag %d out of range 1..%d", m, d.cfg.MaxLag))
+	}
+	return d.mismatch[m]
+}
+
+// DistanceDirect recomputes d(m) by scanning the window. It exists so the
+// incremental counts can be cross-checked; production code should use
+// Distance.
+func (d *Detector) DistanceDirect(m int) int {
+	if m < 1 || m > d.cfg.MaxLag {
+		panic(fmt.Sprintf("core: DistanceDirect lag %d out of range 1..%d", m, d.cfg.MaxLag))
+	}
+	n := d.win.Len()
+	count := 0
+	for i := m; i < n; i++ {
+		if d.win.At(i) != d.win.At(i-m) {
+			count++
+		}
+	}
+	return count
+}
+
+// pairs returns the number of compared positions for lag m in the current
+// window.
+func (d *Detector) pairs(m int) int {
+	n := d.win.Len()
+	if m >= n {
+		return 0
+	}
+	return n - m
+}
+
+// Period returns the smallest lag m for which the window is exactly
+// periodic (d(m) == 0) and for which the window holds at least
+// MinRepeats*m samples. ok is false when no such lag exists, which is the
+// detector's way of saying "no iterative pattern visible yet".
+func (d *Detector) Period() (period int, ok bool) {
+	return d.periodWithTolerance(0)
+}
+
+// PeriodWithin returns the smallest lag whose mismatch fraction
+// (d(m) / compared pairs) does not exceed tol. PeriodWithin(0) is
+// equivalent to Period. It is used by StreamPredictor to lock onto mildly
+// perturbed physical-level streams.
+func (d *Detector) PeriodWithin(tol float64) (period int, ok bool) {
+	if tol < 0 {
+		tol = 0
+	}
+	return d.periodWithTolerance(tol)
+}
+
+func (d *Detector) periodWithTolerance(tol float64) (int, bool) {
+	n := d.win.Len()
+	for m := 1; m <= d.cfg.MaxLag && m < n; m++ {
+		if n < d.cfg.MinRepeats*m {
+			// Window no longer holds enough repetitions for this or any
+			// larger lag.
+			break
+		}
+		p := d.pairs(m)
+		if p <= 0 {
+			break
+		}
+		allowed := int(tol * float64(p))
+		if d.mismatch[m] <= allowed {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// Periodogram returns a copy of the mismatch counts indexed by lag
+// (index 0 is unused and always zero). It is useful for offline analysis
+// and for plotting the distance profile of a stream.
+func (d *Detector) Periodogram() []int {
+	out := make([]int, len(d.mismatch))
+	copy(out, d.mismatch)
+	return out
+}
+
+// Predict returns the value the detector expects k observations in the
+// future (k >= 1), based on the currently detected period: the prediction
+// for x[t+k] is x[t+k-m]. ok is false when no period is detected or k is
+// not positive.
+func (d *Detector) Predict(k int) (int64, bool) {
+	if k < 1 {
+		return 0, false
+	}
+	m, ok := d.Period()
+	if !ok {
+		return 0, false
+	}
+	n := d.win.Len()
+	// Index of x[t+k-m] within the window, where index n-1 holds x[t].
+	idx := n - m + ((k - 1) % m)
+	if idx < 0 || idx >= n {
+		return 0, false
+	}
+	return d.win.At(idx), true
+}
+
+// PredictSeries predicts the next count future values. Predictions that
+// cannot be made (no period detected) are reported with OK == false.
+func (d *Detector) PredictSeries(count int) []Prediction {
+	out := make([]Prediction, 0, count)
+	for k := 1; k <= count; k++ {
+		v, ok := d.Predict(k)
+		out = append(out, Prediction{Ahead: k, Value: v, OK: ok})
+	}
+	return out
+}
+
+// Prediction is a single multi-step-ahead prediction: the value expected
+// Ahead observations in the future. OK is false when the predictor
+// abstained (for example because no period has been detected yet).
+type Prediction struct {
+	Ahead int
+	Value int64
+	OK    bool
+}
+
+// DetectPeriod is a convenience helper that runs a fresh Detector over an
+// entire slice and reports the period detected at the end. It is used by
+// the Figure 1 experiment, which asks for the period of the sender and
+// size streams of a whole trace rather than for online predictions.
+func DetectPeriod(xs []int64, cfg Config) (period int, ok bool) {
+	d := NewDetector(cfg)
+	for _, x := range xs {
+		d.Observe(x)
+	}
+	return d.Period()
+}

@@ -1,0 +1,335 @@
+package core
+
+// LockState describes what the StreamPredictor is currently doing.
+type LockState int
+
+const (
+	// Learning means no pattern has been confirmed yet; the predictor
+	// abstains from predictions that require a locked pattern and falls
+	// back to the bare detector when it already sees a strict period.
+	Learning LockState = iota
+	// Locked means a pattern snapshot has been taken and predictions are
+	// served from it.
+	Locked
+)
+
+// String returns a human-readable name for the state.
+func (s LockState) String() string {
+	switch s {
+	case Learning:
+		return "learning"
+	case Locked:
+		return "locked"
+	default:
+		return "unknown"
+	}
+}
+
+// Counters aggregates what happened to a StreamPredictor over its
+// lifetime. They are exposed so the evaluation harness and the
+// scalability applications can reason about predictor behaviour (e.g. how
+// often it had to relearn on a noisy physical stream).
+type Counters struct {
+	Observed    int64 // samples fed to Observe
+	Locks       int64 // transitions Learning -> Locked
+	Unlocks     int64 // transitions Locked -> Learning (hold-down exceeded)
+	HitsWhile   int64 // observations that matched the locked expectation
+	MissesWhile int64 // observations that contradicted the locked expectation
+}
+
+// StreamPredictor implements the online prediction policy built on top of
+// the DPD. It follows the behaviour described in sections 4.2 and 5.3 of
+// the paper:
+//
+//   - While learning, it feeds the detector and waits until the same
+//     period has been detected for ConfirmRuns consecutive observations.
+//   - It then locks a snapshot of one full pattern. The snapshot is a
+//     per-phase consensus (majority vote across the repetitions present in
+//     the window), so a single perturbed sample in the window does not
+//     poison the locked pattern.
+//   - While locked, every prediction is read from the pattern at the
+//     appropriate phase, so several future values (+1 … +5 in the paper)
+//     are available at once. Observations that contradict the pattern are
+//     counted; HoldDown consecutive misses drop the lock and learning
+//     starts again from the current window.
+type StreamPredictor struct {
+	cfg Config
+	det *Detector
+
+	state      LockState
+	pattern    []int64
+	phase      int // index into pattern of the next expected observation
+	missStreak int
+
+	// recent is a ring of hit/miss outcomes observed while locked; it
+	// backs the miss-rate relearn trigger (Config.RelearnWindow /
+	// RelearnMissRate).
+	recent       []bool
+	recentIdx    int
+	recentCount  int
+	recentMisses int
+
+	candidatePeriod int
+	candidateRuns   int
+
+	counters Counters
+}
+
+// NewStreamPredictor returns a predictor with the given configuration
+// (zero fields take defaults, see Config).
+func NewStreamPredictor(cfg Config) *StreamPredictor {
+	cfg = cfg.withDefaults()
+	return &StreamPredictor{
+		cfg:   cfg,
+		det:   NewDetector(cfg),
+		state: Learning,
+	}
+}
+
+// State returns the current lock state.
+func (p *StreamPredictor) State() LockState { return p.state }
+
+// Period returns the length of the currently locked pattern, or the
+// detector's current period while learning. ok is false when neither is
+// available.
+func (p *StreamPredictor) Period() (int, bool) {
+	if p.state == Locked {
+		return len(p.pattern), true
+	}
+	return p.det.Period()
+}
+
+// Pattern returns a copy of the locked pattern, or nil while learning.
+func (p *StreamPredictor) Pattern() []int64 {
+	if p.state != Locked {
+		return nil
+	}
+	out := make([]int64, len(p.pattern))
+	copy(out, p.pattern)
+	return out
+}
+
+// Counters returns a snapshot of the lifetime counters.
+func (p *StreamPredictor) Counters() Counters { return p.counters }
+
+// Reset returns the predictor to its initial state.
+func (p *StreamPredictor) Reset() {
+	p.det.Reset()
+	p.state = Learning
+	p.pattern = nil
+	p.phase = 0
+	p.missStreak = 0
+	p.candidatePeriod = 0
+	p.candidateRuns = 0
+	p.resetRecent()
+	p.counters = Counters{}
+}
+
+// Observe feeds one sample of the stream to the predictor.
+func (p *StreamPredictor) Observe(x int64) {
+	p.counters.Observed++
+	if p.state == Locked {
+		expected := p.pattern[p.phase]
+		hit := x == expected
+		if hit {
+			p.counters.HitsWhile++
+			p.missStreak = 0
+		} else {
+			p.counters.MissesWhile++
+			p.missStreak++
+		}
+		p.recordOutcome(hit)
+		p.phase = (p.phase + 1) % len(p.pattern)
+		p.det.Observe(x)
+		if p.missStreak > p.cfg.HoldDown || p.missRateExceeded() {
+			p.unlock()
+		}
+		return
+	}
+
+	p.det.Observe(x)
+	period, ok := p.searchPeriod()
+	if !ok {
+		p.candidatePeriod = 0
+		p.candidateRuns = 0
+		return
+	}
+	if period == p.candidatePeriod {
+		p.candidateRuns++
+	} else {
+		p.candidatePeriod = period
+		p.candidateRuns = 1
+	}
+	if p.candidateRuns >= p.cfg.ConfirmRuns {
+		p.lock(period)
+	}
+}
+
+// searchPeriod looks for a period to lock onto. A strict period (the
+// window is exactly periodic, the paper's d(m) == 0 criterion) is
+// preferred because it captures the full iterative pattern of the
+// application even when the stream alternates between shorter local
+// sub-patterns (the LU sweeps are the canonical example). When no strict
+// period exists — typically on physical-level streams perturbed by noise —
+// the tolerant criterion is used instead.
+func (p *StreamPredictor) searchPeriod() (int, bool) {
+	if period, ok := p.det.Period(); ok {
+		return period, true
+	}
+	if p.cfg.LockTolerance > 0 {
+		return p.det.PeriodWithin(p.cfg.LockTolerance)
+	}
+	return 0, false
+}
+
+// lock captures the consensus pattern of length period from the detector
+// window and switches to the Locked state. The next expected observation
+// is the one that follows the most recent window sample.
+func (p *StreamPredictor) lock(period int) {
+	win := p.det.Window()
+	if period <= 0 || len(win) < period {
+		return
+	}
+	p.pattern = consensusPattern(win, period)
+	// The window ends at x[t]; the next observation x[t+1] corresponds to
+	// pattern phase (len(win)) mod period when the pattern is anchored at
+	// the start of the window.
+	p.phase = len(win) % period
+	p.state = Locked
+	p.missStreak = 0
+	p.candidatePeriod = 0
+	p.candidateRuns = 0
+	p.resetRecent()
+	p.counters.Locks++
+}
+
+func (p *StreamPredictor) unlock() {
+	p.state = Learning
+	p.pattern = nil
+	p.phase = 0
+	p.missStreak = 0
+	p.candidatePeriod = 0
+	p.candidateRuns = 0
+	p.resetRecent()
+	p.counters.Unlocks++
+}
+
+// recordOutcome appends a hit/miss outcome to the locked-state ring.
+func (p *StreamPredictor) recordOutcome(hit bool) {
+	if p.cfg.RelearnWindow <= 0 {
+		return
+	}
+	if p.recent == nil {
+		p.recent = make([]bool, p.cfg.RelearnWindow)
+	}
+	if p.recentCount == len(p.recent) {
+		if !p.recent[p.recentIdx] {
+			p.recentMisses--
+		}
+	} else {
+		p.recentCount++
+	}
+	p.recent[p.recentIdx] = hit
+	if !hit {
+		p.recentMisses++
+	}
+	p.recentIdx = (p.recentIdx + 1) % len(p.recent)
+}
+
+// missRateExceeded reports whether the locked pattern has been missing too
+// often over the recent window to be worth keeping. It only fires once the
+// window is full, so a freshly locked pattern gets a fair chance.
+func (p *StreamPredictor) missRateExceeded() bool {
+	if p.cfg.RelearnWindow <= 0 || p.recentCount < p.cfg.RelearnWindow {
+		return false
+	}
+	return float64(p.recentMisses) > p.cfg.RelearnMissRate*float64(p.recentCount)
+}
+
+func (p *StreamPredictor) resetRecent() {
+	p.recentIdx = 0
+	p.recentCount = 0
+	p.recentMisses = 0
+	if p.recent != nil {
+		for i := range p.recent {
+			p.recent[i] = false
+		}
+	}
+}
+
+// Predict returns the expected value k observations ahead (k >= 1).
+// While locked it reads the locked pattern; while learning it falls back
+// to the detector's strict-period prediction; otherwise it abstains.
+func (p *StreamPredictor) Predict(k int) (int64, bool) {
+	if k < 1 {
+		return 0, false
+	}
+	if p.state == Locked {
+		idx := (p.phase + k - 1) % len(p.pattern)
+		return p.pattern[idx], true
+	}
+	return p.det.Predict(k)
+}
+
+// PredictSeries predicts the next count values, abstentions included.
+func (p *StreamPredictor) PredictSeries(count int) []Prediction {
+	out := make([]Prediction, 0, count)
+	for k := 1; k <= count; k++ {
+		v, ok := p.Predict(k)
+		out = append(out, Prediction{Ahead: k, Value: v, OK: ok})
+	}
+	return out
+}
+
+// PredictSet returns the multiset of values expected over the next count
+// observations, without regard to order. Section 5.3 of the paper argues
+// that for buffer pre-allocation the receiver only needs to know *which*
+// senders (and which sizes) are coming next, not their exact order; this
+// is the query that application makes.
+func (p *StreamPredictor) PredictSet(count int) ([]int64, bool) {
+	preds := p.PredictSeries(count)
+	out := make([]int64, 0, count)
+	for _, pr := range preds {
+		if !pr.OK {
+			return nil, false
+		}
+		out = append(out, pr.Value)
+	}
+	return out, true
+}
+
+// consensusPattern builds a pattern of the given period from a window by
+// majority vote over all samples that share the same phase. With a clean
+// window this is exactly the last period of the window; with isolated
+// perturbations the majority of repetitions wins.
+func consensusPattern(win []int64, period int) []int64 {
+	pattern := make([]int64, period)
+	counts := make([]map[int64]int, period)
+	for i := range counts {
+		counts[i] = make(map[int64]int)
+	}
+	// Anchor phases at the start of the window so that phase of win[i] is
+	// i mod period.
+	for i, v := range win {
+		counts[i%period][v]++
+	}
+	for ph := 0; ph < period; ph++ {
+		best := int64(0)
+		bestCount := -1
+		// Deterministic tie-break: prefer the value seen most recently in
+		// the window at this phase.
+		for i := len(win) - 1; i >= 0; i-- {
+			if i%period != ph {
+				continue
+			}
+			v := win[i]
+			c := counts[ph][v]
+			if c > bestCount {
+				best = v
+				bestCount = c
+			}
+		}
+		pattern[ph] = best
+	}
+	return pattern
+}

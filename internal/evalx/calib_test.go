@@ -1,0 +1,30 @@
+package evalx
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mpipredict/internal/trace"
+	"mpipredict/internal/workloads"
+)
+
+func TestCalibrationFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration only")
+	}
+	for _, s := range workloads.PaperSpecs() {
+		start := time.Now()
+		res, err := RunExperiment(s, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%-8s p=%-3d [%4.1fs] reorder=%.2f p2p=%-6d coll=%-4d sizes=%d senders=%-2d logS=%5.1f physS=%5.1f logZ=%5.1f physZ=%5.1f set=%.2f\n",
+			s.Name, s.Procs, time.Since(start).Seconds(), res.Reordering,
+			res.Characterization.P2PMsgs, res.Characterization.CollMsgs,
+			res.Characterization.MsgSizes, res.Characterization.Senders,
+			100*res.Sender[trace.Logical].Mean(), 100*res.Sender[trace.Physical].Mean(),
+			100*res.Size[trace.Logical].Mean(), 100*res.Size[trace.Physical].Mean(),
+			res.SenderSetAccuracy)
+	}
+}

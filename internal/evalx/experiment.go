@@ -1,0 +1,145 @@
+package evalx
+
+import (
+	"fmt"
+
+	"mpipredict/internal/simnet"
+	"mpipredict/internal/trace"
+	"mpipredict/internal/workloads"
+)
+
+// StreamKind names the two streams the paper predicts per receiver.
+type StreamKind string
+
+const (
+	// SenderStream is the sequence of sending ranks.
+	SenderStream StreamKind = "sender"
+	// SizeStream is the sequence of message sizes.
+	SizeStream StreamKind = "size"
+)
+
+// Options control a workload prediction experiment.
+type Options struct {
+	// Net is the interconnect configuration; the zero value selects
+	// simnet.DefaultConfig (noise on), which is what Figures 3 and 4 use:
+	// the logical stream is unaffected by noise while the physical stream
+	// picks it up.
+	Net simnet.Config
+	// Seed drives the simulation.
+	Seed int64
+	// Horizons is the number of future values to predict (default 5).
+	Horizons int
+	// Predictor builds the predictor to evaluate (default: the DPD).
+	Predictor PredictorFactory
+	// Iterations overrides the workload's outer iteration count (0 keeps
+	// the class-A default). The figure experiments keep the default; the
+	// unit tests shrink it.
+	Iterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Net == (simnet.Config{}) {
+		o.Net = simnet.DefaultConfig()
+	}
+	if o.Horizons == 0 {
+		o.Horizons = DefaultHorizons
+	}
+	if o.Predictor == nil {
+		o.Predictor = DefaultPredictor
+	}
+	return o
+}
+
+// Result is the outcome of one (workload, process count) experiment: the
+// accuracy of sender and size prediction at both instrumentation levels,
+// plus the Table 1 characterisation of the traced receiver.
+type Result struct {
+	App      string
+	Procs    int
+	Receiver int
+
+	// Characterisation of the receiver's logical stream (Table 1 row).
+	Characterization trace.Characterization
+
+	// Accuracy indexed by level and stream kind.
+	Sender map[trace.Level]StreamAccuracy
+	Size   map[trace.Level]StreamAccuracy
+
+	// SetAccuracy is the order-free accuracy of the next-5 sender set at
+	// the physical level (Section 5.3).
+	SenderSetAccuracy float64
+
+	// Reordering is the fraction of positions at which the physical
+	// sender stream differs from the logical one (Figure 2's effect).
+	Reordering float64
+}
+
+// RunExperiment simulates one workload instance and evaluates prediction
+// accuracy on the streams of the workload's typical receiver (the rank the
+// paper traces). Callers that need a different receiver can run the
+// workload themselves and use EvaluateTrace.
+func RunExperiment(spec workloads.Spec, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := workloads.Validate(spec); err != nil {
+		return Result{}, err
+	}
+	if opts.Iterations > 0 {
+		spec.Iterations = opts.Iterations
+	}
+	receiver, err := workloads.TypicalReceiver(spec.Name, spec.Procs)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tr, err := workloads.Run(workloads.RunConfig{
+		Spec:           spec,
+		Net:            opts.Net,
+		Seed:           opts.Seed,
+		TraceReceivers: []int{receiver},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return EvaluateTrace(tr, receiver, opts)
+}
+
+// EvaluateTrace evaluates prediction accuracy on an existing trace for the
+// given receiver. It is used directly by tools that load traces from disk.
+func EvaluateTrace(tr *trace.Trace, receiver int, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	res := Result{
+		App:              tr.App,
+		Procs:            tr.Procs,
+		Receiver:         receiver,
+		Characterization: tr.Characterize(receiver, trace.Logical, 0.99),
+		Sender:           make(map[trace.Level]StreamAccuracy),
+		Size:             make(map[trace.Level]StreamAccuracy),
+	}
+	logicalSenders := tr.SenderStream(receiver, trace.Logical)
+	if len(logicalSenders) == 0 {
+		return Result{}, fmt.Errorf("evalx: receiver %d has no logical records in trace %q", receiver, tr.App)
+	}
+	for _, level := range []trace.Level{trace.Logical, trace.Physical} {
+		res.Sender[level] = EvaluateStream(tr.SenderStream(receiver, level), opts.Predictor, opts.Horizons)
+		res.Size[level] = EvaluateStream(tr.SizeStream(receiver, level), opts.Predictor, opts.Horizons)
+	}
+	res.SenderSetAccuracy = SetAccuracy(tr.SenderStream(receiver, trace.Physical), opts.Predictor, opts.Horizons)
+	res.Reordering = MismatchFraction(
+		tr.SenderStream(receiver, trace.Logical),
+		tr.SenderStream(receiver, trace.Physical),
+	)
+	return res, nil
+}
+
+// Accuracy returns the accuracy for the requested stream kind, level and
+// horizon.
+func (r Result) Accuracy(kind StreamKind, level trace.Level, horizon int) float64 {
+	switch kind {
+	case SenderStream:
+		return r.Sender[level].Accuracy(horizon)
+	case SizeStream:
+		return r.Size[level].Accuracy(horizon)
+	default:
+		return 0
+	}
+}

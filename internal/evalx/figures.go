@@ -1,0 +1,294 @@
+package evalx
+
+import (
+	"fmt"
+
+	"mpipredict/internal/core"
+	"mpipredict/internal/trace"
+	"mpipredict/internal/workloads"
+)
+
+// Table1Row is one row of the reproduced Table 1, together with the
+// paper's reference values when available.
+type Table1Row struct {
+	App        string
+	Procs      int
+	Receiver   int
+	P2PMsgs    int
+	CollMsgs   int
+	MsgSizes   int
+	Senders    int
+	PaperP2P   int // 0 when the paper has no value for this configuration
+	PaperColl  int
+	PaperSizes int
+	PaperSend  int
+}
+
+// Table1 reproduces Table 1: it simulates every (workload, process count)
+// pair of the paper and characterises the traced receiver's stream.
+// Options.Iterations can shrink the runs for quick looks; the bench
+// harness uses the full defaults.
+func Table1(opts Options) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, len(workloads.PaperSpecs()))
+	for _, spec := range workloads.PaperSpecs() {
+		row, err := Table1Single(spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1Single computes one row of Table 1.
+func Table1Single(spec workloads.Spec, opts Options) (Table1Row, error) {
+	opts = opts.withDefaults()
+	if opts.Iterations > 0 {
+		spec.Iterations = opts.Iterations
+	}
+	receiver, err := workloads.TypicalReceiver(spec.Name, spec.Procs)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	tr, err := workloads.Run(workloads.RunConfig{
+		Spec:           spec,
+		Net:            opts.Net,
+		Seed:           opts.Seed,
+		TraceReceivers: []int{receiver},
+	})
+	if err != nil {
+		return Table1Row{}, err
+	}
+	c := tr.Characterize(receiver, trace.Logical, 0.99)
+	row := Table1Row{
+		App:      spec.Name,
+		Procs:    spec.Procs,
+		Receiver: receiver,
+		P2PMsgs:  c.P2PMsgs,
+		CollMsgs: c.CollMsgs,
+		MsgSizes: c.MsgSizes,
+		Senders:  c.Senders,
+	}
+	if ref, ok := PaperTable1[table1Key{spec.Name, spec.Procs}]; ok {
+		row.PaperP2P = ref.P2P
+		row.PaperColl = ref.Coll
+		row.PaperSizes = ref.Sizes
+		row.PaperSend = ref.Senders
+	}
+	return row, nil
+}
+
+// Figure1Result captures the Figure 1 experiment: the iterative pattern of
+// the sender and size streams received by process 3 of BT.9.
+type Figure1Result struct {
+	App          string
+	Procs        int
+	Receiver     int
+	SenderPeriod int
+	SizePeriod   int
+	// Excerpt holds the first few periods of both streams so callers can
+	// plot or print them.
+	SenderExcerpt []int64
+	SizeExcerpt   []int64
+}
+
+// Figure1 reproduces Figure 1: it runs BT on 9 processes, extracts the
+// logical sender and size streams of process 3, detects their period and
+// returns an excerpt covering a few periods. The paper reports a period
+// of 18 for both streams.
+func Figure1(opts Options) (Figure1Result, error) {
+	opts = opts.withDefaults()
+	spec := workloads.Spec{Name: "bt", Procs: 9, Iterations: opts.Iterations}
+	receiver, err := workloads.TypicalReceiver(spec.Name, spec.Procs)
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	tr, err := workloads.Run(workloads.RunConfig{
+		Spec:           spec,
+		Net:            opts.Net,
+		Seed:           opts.Seed,
+		TraceReceivers: []int{receiver},
+	})
+	if err != nil {
+		return Figure1Result{}, err
+	}
+	// The figure plots the iterative point-to-point pattern; the handful
+	// of setup/verification collectives are not part of it.
+	senders, sizes := tr.StreamsOfKind(receiver, trace.Logical, trace.PointToPoint)
+	res := Figure1Result{App: spec.Name, Procs: spec.Procs, Receiver: receiver}
+	detCfg := core.DefaultConfig()
+	if p, ok := core.DetectPeriod(senders, detCfg); ok {
+		res.SenderPeriod = p
+	}
+	if p, ok := core.DetectPeriod(sizes, detCfg); ok {
+		res.SizePeriod = p
+	}
+	excerpt := 4 * 18
+	if excerpt > len(senders) {
+		excerpt = len(senders)
+	}
+	res.SenderExcerpt = append([]int64(nil), senders[:excerpt]...)
+	res.SizeExcerpt = append([]int64(nil), sizes[:excerpt]...)
+	return res, nil
+}
+
+// Figure2Result captures the Figure 2 experiment: the logical vs physical
+// sender streams of process 3 of BT.4.
+type Figure2Result struct {
+	App             string
+	Procs           int
+	Receiver        int
+	Logical         []int64
+	Physical        []int64
+	MismatchPercent float64
+}
+
+// Figure2 reproduces Figure 2: BT on 4 processes, the logical and physical
+// sender streams of the traced process, and the fraction of positions at
+// which physical arrival order deviates from program order.
+func Figure2(opts Options) (Figure2Result, error) {
+	opts = opts.withDefaults()
+	spec := workloads.Spec{Name: "bt", Procs: 4, Iterations: opts.Iterations}
+	receiver, err := workloads.TypicalReceiver(spec.Name, spec.Procs)
+	if err != nil {
+		return Figure2Result{}, err
+	}
+	tr, err := workloads.Run(workloads.RunConfig{
+		Spec:           spec,
+		Net:            opts.Net,
+		Seed:           opts.Seed,
+		TraceReceivers: []int{receiver},
+	})
+	if err != nil {
+		return Figure2Result{}, err
+	}
+	logical := tr.SenderStream(receiver, trace.Logical)
+	physical := tr.SenderStream(receiver, trace.Physical)
+	return Figure2Result{
+		App:             spec.Name,
+		Procs:           spec.Procs,
+		Receiver:        receiver,
+		Logical:         logical,
+		Physical:        physical,
+		MismatchPercent: 100 * MismatchFraction(logical, physical),
+	}, nil
+}
+
+// FigureCell is one bar of Figures 3 and 4: the prediction accuracy for
+// one workload, process count, stream kind and horizon at one level.
+type FigureCell struct {
+	App      string
+	Procs    int
+	Kind     StreamKind
+	Level    trace.Level
+	Horizon  int
+	Accuracy float64
+}
+
+// FigureResult is the full data behind Figure 3 (logical level) or
+// Figure 4 (physical level).
+type FigureResult struct {
+	Level trace.Level
+	Cells []FigureCell
+}
+
+// AccuracyFigure runs the prediction experiment for every (workload,
+// process count) pair of the paper and collects the accuracy cells for the
+// requested level. Figure 3 is AccuracyFigure(trace.Logical, opts);
+// Figure 4 is AccuracyFigure(trace.Physical, opts). Both figures come
+// from the same runs, so SweepAll can be used to compute them together
+// without simulating twice.
+func AccuracyFigure(level trace.Level, opts Options) (FigureResult, error) {
+	results, err := SweepAll(opts)
+	if err != nil {
+		return FigureResult{}, err
+	}
+	return figureFromResults(level, opts, results), nil
+}
+
+// SweepAll runs the prediction experiment for every paper configuration
+// and returns the per-configuration results, keyed in Table 1 order.
+func SweepAll(opts Options) ([]Result, error) {
+	opts = opts.withDefaults()
+	specs := workloads.PaperSpecs()
+	out := make([]Result, 0, len(specs))
+	for _, spec := range specs {
+		res, err := RunExperiment(spec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("evalx: experiment %s.%d: %w", spec.Name, spec.Procs, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FiguresFromResults derives the Figure 3 and Figure 4 data from a
+// completed sweep.
+func FiguresFromResults(opts Options, results []Result) (logical, physical FigureResult) {
+	opts = opts.withDefaults()
+	return figureFromResults(trace.Logical, opts, results),
+		figureFromResults(trace.Physical, opts, results)
+}
+
+func figureFromResults(level trace.Level, opts Options, results []Result) FigureResult {
+	fig := FigureResult{Level: level}
+	for _, res := range results {
+		for _, kind := range []StreamKind{SenderStream, SizeStream} {
+			for k := 1; k <= opts.Horizons; k++ {
+				fig.Cells = append(fig.Cells, FigureCell{
+					App:      res.App,
+					Procs:    res.Procs,
+					Kind:     kind,
+					Level:    level,
+					Horizon:  k,
+					Accuracy: res.Accuracy(kind, level, k),
+				})
+			}
+		}
+	}
+	return fig
+}
+
+// MinAccuracy returns the smallest accuracy among the cells matching the
+// given workload (empty string matches all) and stream kind.
+func (f FigureResult) MinAccuracy(app string, kind StreamKind) float64 {
+	min := 1.0
+	found := false
+	for _, c := range f.Cells {
+		if app != "" && c.App != app {
+			continue
+		}
+		if c.Kind != kind {
+			continue
+		}
+		found = true
+		if c.Accuracy < min {
+			min = c.Accuracy
+		}
+	}
+	if !found {
+		return 0
+	}
+	return min
+}
+
+// MeanAccuracy returns the average accuracy among cells matching the given
+// workload (empty string matches all) and stream kind.
+func (f FigureResult) MeanAccuracy(app string, kind StreamKind) float64 {
+	var sum float64
+	var n int
+	for _, c := range f.Cells {
+		if app != "" && c.App != app {
+			continue
+		}
+		if c.Kind != kind {
+			continue
+		}
+		sum += c.Accuracy
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

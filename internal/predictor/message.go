@@ -1,0 +1,86 @@
+package predictor
+
+import "mpipredict/internal/core"
+
+// MessageForecast is the joint prediction for one future message: which
+// rank will send it and how many bytes it will carry. It is the piece of
+// information the scalability mechanisms of Section 2 of the paper need:
+// the receiver uses it to pre-allocate a buffer of Size bytes for Sender
+// and to hand out a credit before the message is sent.
+type MessageForecast struct {
+	Ahead  int   // how many messages in the future (1 = next message)
+	Sender int   // predicted sending rank
+	Size   int64 // predicted message size in bytes
+	OK     bool  // false when either stream predictor abstained
+}
+
+// MessagePredictor couples two stream predictors — one for the sender
+// stream, one for the size stream of a single receiving process — into a
+// message-level forecaster.
+type MessagePredictor struct {
+	sender Predictor
+	size   Predictor
+}
+
+// NewMessagePredictor builds a message predictor from two independently
+// chosen stream predictors.
+func NewMessagePredictor(sender, size Predictor) *MessagePredictor {
+	return &MessagePredictor{sender: sender, size: size}
+}
+
+// NewDPDMessagePredictor is the paper's configuration: a DPD predictor on
+// both the sender and the size stream.
+func NewDPDMessagePredictor(cfg core.Config) *MessagePredictor {
+	return &MessagePredictor{sender: NewDPD(cfg), size: NewDPD(cfg)}
+}
+
+// Observe records one received message.
+func (m *MessagePredictor) Observe(sender int, size int64) {
+	m.sender.Observe(int64(sender))
+	m.size.Observe(size)
+}
+
+// Forecast predicts the next `count` messages.
+func (m *MessagePredictor) Forecast(count int) []MessageForecast {
+	out := make([]MessageForecast, 0, count)
+	for k := 1; k <= count; k++ {
+		s, okS := m.sender.Predict(k)
+		z, okZ := m.size.Predict(k)
+		out = append(out, MessageForecast{
+			Ahead:  k,
+			Sender: int(s),
+			Size:   z,
+			OK:     okS && okZ,
+		})
+	}
+	return out
+}
+
+// ForecastSenders returns the set of ranks expected to send one of the
+// next `count` messages (duplicates removed, order not meaningful), along
+// with the total number of bytes forecast per sender. Section 5.3 of the
+// paper argues that this order-free view is what buffer pre-allocation
+// needs and that it remains accurate even at the physical level.
+func (m *MessagePredictor) ForecastSenders(count int) (map[int]int64, bool) {
+	fc := m.Forecast(count)
+	out := make(map[int]int64)
+	for _, f := range fc {
+		if !f.OK {
+			return nil, false
+		}
+		out[f.Sender] += f.Size
+	}
+	return out, true
+}
+
+// Reset clears both stream predictors.
+func (m *MessagePredictor) Reset() {
+	m.sender.Reset()
+	m.size.Reset()
+}
+
+// SenderPredictor returns the underlying sender-stream predictor.
+func (m *MessagePredictor) SenderPredictor() Predictor { return m.sender }
+
+// SizePredictor returns the underlying size-stream predictor.
+func (m *MessagePredictor) SizePredictor() Predictor { return m.size }

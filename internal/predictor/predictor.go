@@ -1,0 +1,380 @@
+// Package predictor defines the common interface for MPI message-stream
+// predictors and provides, besides the paper's DPD-based predictor, the
+// baseline predictors the paper compares against in its related-work
+// discussion (Section 6): single-next-value heuristics in the style of
+// Afsahi & Dimopoulos and Markov-chain predictors.
+//
+// All predictors consume a stream of int64 observations (sender ranks or
+// message sizes) through Observe and answer Predict(k) queries for the
+// value expected k observations in the future. Baselines that can only
+// predict the immediate next value abstain for k > 1, which is exactly
+// the limitation the paper attributes to them; the evaluation harness
+// counts abstentions as mispredictions.
+package predictor
+
+import (
+	"fmt"
+	"sort"
+
+	"mpipredict/internal/core"
+)
+
+// Predictor is an online, single-stream value predictor.
+type Predictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// Observe feeds the next observed value of the stream.
+	Observe(x int64)
+	// Predict returns the value expected k observations ahead (k >= 1).
+	// ok is false when the predictor abstains.
+	Predict(k int) (value int64, ok bool)
+	// Reset returns the predictor to its initial, untrained state.
+	Reset()
+}
+
+// Factory creates a fresh predictor instance.
+type Factory func() Predictor
+
+// registry of named factories, used by the CLI and the comparison bench.
+var registry = map[string]Factory{}
+
+// Register adds a named predictor factory. It panics on duplicates, which
+// indicates a programming error during init.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("predictor: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New creates a predictor by registered name.
+func New(name string) (Predictor, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("predictor: unknown predictor %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names returns the registered predictor names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("dpd", func() Predictor { return NewDPD(core.DefaultConfig()) })
+	Register("last-value", func() Predictor { return NewLastValue() })
+	Register("most-frequent", func() Predictor { return NewMostFrequent(64) })
+	Register("markov1", func() Predictor { return NewMarkov(1) })
+	Register("markov2", func() Predictor { return NewMarkov(2) })
+	Register("cycle", func() Predictor { return NewCycle(512) })
+	Register("successor", func() Predictor { return NewSuccessor() })
+}
+
+// DPD adapts core.StreamPredictor (the paper's contribution) to the
+// Predictor interface.
+type DPD struct {
+	sp  *core.StreamPredictor
+	cfg core.Config
+}
+
+// NewDPD builds a DPD predictor with the given core configuration.
+func NewDPD(cfg core.Config) *DPD {
+	return &DPD{sp: core.NewStreamPredictor(cfg), cfg: cfg}
+}
+
+// Name implements Predictor.
+func (d *DPD) Name() string { return "dpd" }
+
+// Observe implements Predictor.
+func (d *DPD) Observe(x int64) { d.sp.Observe(x) }
+
+// Predict implements Predictor.
+func (d *DPD) Predict(k int) (int64, bool) { return d.sp.Predict(k) }
+
+// Reset implements Predictor.
+func (d *DPD) Reset() { d.sp.Reset() }
+
+// Stream exposes the wrapped StreamPredictor for callers that need the
+// richer DPD-specific API (period, pattern, counters).
+func (d *DPD) Stream() *core.StreamPredictor { return d.sp }
+
+// LastValue predicts that the next value equals the last observed value.
+// It is the simplest heuristic baseline; it only answers +1 queries.
+type LastValue struct {
+	last int64
+	seen bool
+}
+
+// NewLastValue returns a LastValue predictor.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "last-value" }
+
+// Observe implements Predictor.
+func (p *LastValue) Observe(x int64) { p.last, p.seen = x, true }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict(k int) (int64, bool) {
+	if !p.seen || k != 1 {
+		return 0, false
+	}
+	return p.last, true
+}
+
+// Reset implements Predictor.
+func (p *LastValue) Reset() { *p = LastValue{} }
+
+// MostFrequent predicts the most frequent value over a sliding window of
+// recent history, for every horizon. It captures "message-destination
+// locality" (Kim & Lilja) without any temporal structure.
+type MostFrequent struct {
+	window []int64
+	size   int
+	counts map[int64]int
+}
+
+// NewMostFrequent returns a predictor with the given window size.
+func NewMostFrequent(window int) *MostFrequent {
+	if window < 1 {
+		window = 1
+	}
+	return &MostFrequent{size: window, counts: make(map[int64]int)}
+}
+
+// Name implements Predictor.
+func (p *MostFrequent) Name() string { return "most-frequent" }
+
+// Observe implements Predictor.
+func (p *MostFrequent) Observe(x int64) {
+	p.window = append(p.window, x)
+	p.counts[x]++
+	if len(p.window) > p.size {
+		old := p.window[0]
+		p.window = p.window[1:]
+		p.counts[old]--
+		if p.counts[old] == 0 {
+			delete(p.counts, old)
+		}
+	}
+}
+
+// Predict implements Predictor.
+func (p *MostFrequent) Predict(k int) (int64, bool) {
+	if k < 1 || len(p.window) == 0 {
+		return 0, false
+	}
+	best := int64(0)
+	bestCount := -1
+	for v, c := range p.counts {
+		if c > bestCount || (c == bestCount && v < best) {
+			best, bestCount = v, c
+		}
+	}
+	return best, true
+}
+
+// Reset implements Predictor.
+func (p *MostFrequent) Reset() {
+	p.window = nil
+	p.counts = make(map[int64]int)
+}
+
+// Markov is an order-k Markov-chain predictor: it counts transitions from
+// the last `order` observed values to the next value and predicts the most
+// frequent continuation. Multi-step predictions chain the most likely
+// transitions. The paper points out that such models need more training
+// than the DPD and do not expose the pattern length.
+type Markov struct {
+	order   int
+	history []int64
+	// table maps a context (encoded history) to counts of successors.
+	table map[string]map[int64]int
+}
+
+// NewMarkov returns an order-`order` Markov predictor (order >= 1).
+func NewMarkov(order int) *Markov {
+	if order < 1 {
+		order = 1
+	}
+	return &Markov{order: order, table: make(map[string]map[int64]int)}
+}
+
+// Name implements Predictor.
+func (p *Markov) Name() string { return fmt.Sprintf("markov%d", p.order) }
+
+func contextKey(ctx []int64) string {
+	key := make([]byte, 0, len(ctx)*9)
+	for _, v := range ctx {
+		for shift := 0; shift < 64; shift += 8 {
+			key = append(key, byte(v>>shift))
+		}
+		key = append(key, ',')
+	}
+	return string(key)
+}
+
+// Observe implements Predictor.
+func (p *Markov) Observe(x int64) {
+	if len(p.history) == p.order {
+		key := contextKey(p.history)
+		succ := p.table[key]
+		if succ == nil {
+			succ = make(map[int64]int)
+			p.table[key] = succ
+		}
+		succ[x]++
+	}
+	p.history = append(p.history, x)
+	if len(p.history) > p.order {
+		p.history = p.history[1:]
+	}
+}
+
+// Predict implements Predictor.
+func (p *Markov) Predict(k int) (int64, bool) {
+	if k < 1 || len(p.history) < p.order {
+		return 0, false
+	}
+	ctx := make([]int64, p.order)
+	copy(ctx, p.history)
+	var last int64
+	for step := 0; step < k; step++ {
+		succ, ok := p.table[contextKey(ctx)]
+		if !ok || len(succ) == 0 {
+			return 0, false
+		}
+		best := int64(0)
+		bestCount := -1
+		for v, c := range succ {
+			if c > bestCount || (c == bestCount && v < best) {
+				best, bestCount = v, c
+			}
+		}
+		last = best
+		ctx = append(ctx[1:], best)
+	}
+	return last, true
+}
+
+// Reset implements Predictor.
+func (p *Markov) Reset() {
+	p.history = nil
+	p.table = make(map[string]map[int64]int)
+}
+
+// Cycle is a single-cycle heuristic in the spirit of the message
+// predictors of Afsahi & Dimopoulos: it records the sequence of values
+// observed between two occurrences of the same "anchor" value (the first
+// value ever seen) and then replays that cycle. Unlike the DPD it commits
+// to the first cycle it sees and has no notion of a distance metric or of
+// confidence; a change of pattern silently degrades its accuracy.
+type Cycle struct {
+	maxLen   int
+	anchor   int64
+	haveAnch bool
+	building []int64
+	cycle    []int64
+	pos      int // position in cycle of the next expected value
+}
+
+// NewCycle returns a Cycle predictor that gives up on cycles longer than
+// maxLen values.
+func NewCycle(maxLen int) *Cycle {
+	if maxLen < 2 {
+		maxLen = 2
+	}
+	return &Cycle{maxLen: maxLen}
+}
+
+// Name implements Predictor.
+func (p *Cycle) Name() string { return "cycle" }
+
+// Observe implements Predictor.
+func (p *Cycle) Observe(x int64) {
+	if !p.haveAnch {
+		p.anchor = x
+		p.haveAnch = true
+		p.building = append(p.building, x)
+		return
+	}
+	if p.cycle == nil {
+		if x == p.anchor && len(p.building) > 0 {
+			// Cycle closed: it spans from the anchor up to (not including)
+			// this repetition.
+			p.cycle = append([]int64(nil), p.building...)
+			p.pos = 1 % len(p.cycle) // we just saw cycle[0] again
+			return
+		}
+		p.building = append(p.building, x)
+		if len(p.building) > p.maxLen {
+			// Give up and restart from the most recent value.
+			p.anchor = x
+			p.building = p.building[:0]
+			p.building = append(p.building, x)
+		}
+		return
+	}
+	// Replaying: advance the phase regardless of whether the observation
+	// matched (the heuristic has no recovery rule).
+	p.pos = (p.pos + 1) % len(p.cycle)
+}
+
+// Predict implements Predictor.
+func (p *Cycle) Predict(k int) (int64, bool) {
+	if k < 1 || p.cycle == nil {
+		return 0, false
+	}
+	return p.cycle[(p.pos+k-1)%len(p.cycle)], true
+}
+
+// Reset implements Predictor.
+func (p *Cycle) Reset() { *p = Cycle{maxLen: p.maxLen} }
+
+// Successor predicts that the value following v is whatever followed v
+// the last time v was observed ("last successor" pairing heuristic). It
+// answers only +1 queries.
+type Successor struct {
+	next map[int64]int64
+	last int64
+	seen bool
+}
+
+// NewSuccessor returns a Successor predictor.
+func NewSuccessor() *Successor {
+	return &Successor{next: make(map[int64]int64)}
+}
+
+// Name implements Predictor.
+func (p *Successor) Name() string { return "successor" }
+
+// Observe implements Predictor.
+func (p *Successor) Observe(x int64) {
+	if p.seen {
+		p.next[p.last] = x
+	}
+	p.last = x
+	p.seen = true
+}
+
+// Predict implements Predictor.
+func (p *Successor) Predict(k int) (int64, bool) {
+	if k != 1 || !p.seen {
+		return 0, false
+	}
+	v, ok := p.next[p.last]
+	return v, ok
+}
+
+// Reset implements Predictor.
+func (p *Successor) Reset() {
+	p.next = make(map[int64]int64)
+	p.seen = false
+	p.last = 0
+}

@@ -1,0 +1,407 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpipredict/internal/core"
+)
+
+func repeat(pattern []int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)]
+	}
+	return out
+}
+
+// feed sends the stream into p and returns the +1 accuracy measured the
+// same way the evaluation harness does (abstentions count as misses).
+func feed(p Predictor, stream []int64, warmup int) float64 {
+	hits, total := 0, 0
+	for i, x := range stream {
+		if i >= warmup {
+			total++
+			if v, ok := p.Predict(1); ok && v == x {
+				hits++
+			}
+		}
+		p.Observe(x)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+func TestRegistryKnowsAllPredictors(t *testing.T) {
+	names := Names()
+	want := []string{"cycle", "dpd", "last-value", "markov1", "markov2", "most-frequent", "successor"}
+	if len(names) != len(want) {
+		t.Fatalf("registered predictors = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registered predictors = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		p, err := New(n)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Errorf("New(%q).Name() = %q", n, p.Name())
+		}
+	}
+}
+
+func TestNewUnknownPredictor(t *testing.T) {
+	if _, err := New("no-such-predictor"); err == nil {
+		t.Fatal("expected an error for an unknown predictor name")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	Register("dpd", func() Predictor { return NewLastValue() })
+}
+
+func TestLastValue(t *testing.T) {
+	p := NewLastValue()
+	if _, ok := p.Predict(1); ok {
+		t.Error("untrained LastValue must abstain")
+	}
+	p.Observe(5)
+	if v, ok := p.Predict(1); !ok || v != 5 {
+		t.Errorf("Predict(1)=%d,%v want 5,true", v, ok)
+	}
+	if _, ok := p.Predict(2); ok {
+		t.Error("LastValue must abstain for k > 1")
+	}
+	p.Observe(9)
+	if v, _ := p.Predict(1); v != 9 {
+		t.Errorf("after new observation Predict(1)=%d want 9", v)
+	}
+	p.Reset()
+	if _, ok := p.Predict(1); ok {
+		t.Error("reset LastValue must abstain")
+	}
+}
+
+func TestLastValueAccuracyOnAlternatingStream(t *testing.T) {
+	// On a strictly alternating stream last-value is always wrong; the DPD
+	// is essentially always right. This is the qualitative gap the paper's
+	// related-work section describes.
+	stream := repeat([]int64{1, 2}, 400)
+	lv := feed(NewLastValue(), stream, 50)
+	dpd := feed(NewDPD(core.DefaultConfig()), stream, 50)
+	if lv > 0.01 {
+		t.Errorf("last-value accuracy on alternating stream = %.3f, want ~0", lv)
+	}
+	if dpd < 0.99 {
+		t.Errorf("dpd accuracy on alternating stream = %.3f, want ~1", dpd)
+	}
+}
+
+func TestMostFrequent(t *testing.T) {
+	p := NewMostFrequent(4)
+	if _, ok := p.Predict(1); ok {
+		t.Error("empty MostFrequent must abstain")
+	}
+	for _, x := range []int64{7, 7, 3, 7} {
+		p.Observe(x)
+	}
+	if v, ok := p.Predict(1); !ok || v != 7 {
+		t.Errorf("Predict=%d,%v want 7,true", v, ok)
+	}
+	if v, ok := p.Predict(5); !ok || v != 7 {
+		t.Errorf("MostFrequent answers any horizon; got %d,%v", v, ok)
+	}
+	// Slide the window so that 7 falls out of favour.
+	for _, x := range []int64{3, 3, 3} {
+		p.Observe(x)
+	}
+	if v, _ := p.Predict(1); v != 3 {
+		t.Errorf("after sliding, Predict=%d want 3", v)
+	}
+	p.Reset()
+	if _, ok := p.Predict(1); ok {
+		t.Error("reset MostFrequent must abstain")
+	}
+}
+
+func TestMostFrequentWindowClamp(t *testing.T) {
+	p := NewMostFrequent(0)
+	p.Observe(1)
+	p.Observe(2)
+	if v, ok := p.Predict(1); !ok || v != 2 {
+		t.Errorf("window clamps to 1, so prediction should be the last value; got %d,%v", v, ok)
+	}
+}
+
+func TestMarkovOrder1(t *testing.T) {
+	p := NewMarkov(1)
+	if p.Name() != "markov1" {
+		t.Errorf("name=%q", p.Name())
+	}
+	if _, ok := p.Predict(1); ok {
+		t.Error("untrained Markov must abstain")
+	}
+	for _, x := range repeat([]int64{1, 2, 3}, 60) {
+		p.Observe(x)
+	}
+	// After ...,1,2,3 the last value is 3 (60 samples end with 3).
+	if v, ok := p.Predict(1); !ok || v != 1 {
+		t.Errorf("Predict(1)=%d,%v want 1,true", v, ok)
+	}
+	if v, ok := p.Predict(2); !ok || v != 2 {
+		t.Errorf("Predict(2) by chaining=%d,%v want 2,true", v, ok)
+	}
+	if v, ok := p.Predict(3); !ok || v != 3 {
+		t.Errorf("Predict(3) by chaining=%d,%v want 3,true", v, ok)
+	}
+	p.Reset()
+	if _, ok := p.Predict(1); ok {
+		t.Error("reset Markov must abstain")
+	}
+}
+
+func TestMarkovOrderClamped(t *testing.T) {
+	p := NewMarkov(0)
+	if p.order != 1 {
+		t.Errorf("order clamps to 1, got %d", p.order)
+	}
+}
+
+func TestMarkovOrder2DisambiguatesContext(t *testing.T) {
+	// Pattern 1,2,1,3: after "1" alone the next value is ambiguous (2 or
+	// 3), but after the pair (2,1) it is always 3 and after (3,1) it is 2.
+	stream := repeat([]int64{1, 2, 1, 3}, 200)
+	m1 := NewMarkov(1)
+	m2 := NewMarkov(2)
+	acc1 := feed(m1, stream, 40)
+	acc2 := feed(m2, stream, 40)
+	if acc2 < 0.95 {
+		t.Errorf("order-2 Markov should be nearly perfect on this stream, got %.3f", acc2)
+	}
+	if acc1 > 0.80 {
+		t.Errorf("order-1 Markov cannot disambiguate; expected <= 0.80, got %.3f", acc1)
+	}
+}
+
+func TestCyclePredictor(t *testing.T) {
+	p := NewCycle(512)
+	if _, ok := p.Predict(1); ok {
+		t.Error("untrained Cycle must abstain")
+	}
+	stream := repeat([]int64{5, 6, 7, 8}, 40)
+	acc := feed(p, stream, 8)
+	if acc < 0.99 {
+		t.Errorf("cycle predictor accuracy on clean stream = %.3f, want ~1", acc)
+	}
+}
+
+func TestCyclePredictorGivesUpOnOverlongCycle(t *testing.T) {
+	p := NewCycle(2)
+	// anchor=1; values never repeat within maxLen, so the builder restarts.
+	for _, x := range []int64{1, 2, 3, 4, 5, 6} {
+		p.Observe(x)
+	}
+	if _, ok := p.Predict(1); ok {
+		t.Error("cycle predictor should still be untrained")
+	}
+}
+
+func TestCyclePredictorNoRecoveryAfterPatternChange(t *testing.T) {
+	// The cycle heuristic commits to the first cycle and never recovers;
+	// the DPD relearns. This is the qualitative difference of Section 6.
+	// A small DPD window keeps the relearning transient short relative to
+	// the length of the second phase.
+	stream := append(repeat([]int64{1, 2, 3}, 90), repeat([]int64{7, 8, 9, 10}, 600)...)
+	cycleAcc := feed(NewCycle(512), stream, 120)
+	dpdAcc := feed(NewDPD(core.Config{WindowSize: 64, MaxLag: 24}), stream, 120)
+	if dpdAcc < 0.9 {
+		t.Errorf("dpd accuracy after pattern change = %.3f, want >= 0.9", dpdAcc)
+	}
+	if cycleAcc > 0.5 {
+		t.Errorf("cycle accuracy after pattern change = %.3f, expected to stay low", cycleAcc)
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	p := NewSuccessor()
+	if _, ok := p.Predict(1); ok {
+		t.Error("untrained Successor must abstain")
+	}
+	for _, x := range []int64{1, 2, 3, 1} {
+		p.Observe(x)
+	}
+	if v, ok := p.Predict(1); !ok || v != 2 {
+		t.Errorf("successor of 1 should be 2, got %d,%v", v, ok)
+	}
+	if _, ok := p.Predict(2); ok {
+		t.Error("Successor must abstain for k > 1")
+	}
+	p.Observe(9) // 1 -> 9 overwrites 1 -> 2
+	p.Observe(1)
+	if v, _ := p.Predict(1); v != 9 {
+		t.Errorf("successor of 1 should now be 9, got %d", v)
+	}
+	p.Reset()
+	if _, ok := p.Predict(1); ok {
+		t.Error("reset Successor must abstain")
+	}
+}
+
+func TestDPDMultiStepBeatsSingleStepBaselines(t *testing.T) {
+	// +5 prediction: only the DPD (and chained Markov) can answer at all.
+	stream := repeat([]int64{1, 2, 5, 7, 9, 1, 2, 5, 7, 9, 1, 2, 5, 7, 9, 1, 2, 7}, 300)
+	dpd := NewDPD(core.DefaultConfig())
+	lv := NewLastValue()
+	succ := NewSuccessor()
+	hitsDPD, total := 0, 0
+	for i, x := range stream {
+		if i >= 100 && i+4 < len(stream) {
+			total++
+			if v, ok := dpd.Predict(5); ok && v == stream[i+4] {
+				hitsDPD++
+			}
+			if _, ok := lv.Predict(5); ok {
+				t.Fatal("last-value must abstain at +5")
+			}
+			if _, ok := succ.Predict(5); ok {
+				t.Fatal("successor must abstain at +5")
+			}
+		}
+		dpd.Observe(x)
+		lv.Observe(x)
+		succ.Observe(x)
+	}
+	if acc := float64(hitsDPD) / float64(total); acc < 0.95 {
+		t.Errorf("dpd +5 accuracy = %.3f, want >= 0.95", acc)
+	}
+}
+
+func TestDPDStreamAccessor(t *testing.T) {
+	d := NewDPD(core.DefaultConfig())
+	if d.Stream() == nil {
+		t.Fatal("Stream() should expose the wrapped StreamPredictor")
+	}
+	for _, x := range repeat([]int64{4, 5, 6}, 60) {
+		d.Observe(x)
+	}
+	if st := d.Stream().State(); st != core.Locked {
+		t.Errorf("state=%v want locked", st)
+	}
+}
+
+func TestMessagePredictorForecast(t *testing.T) {
+	mp := NewDPDMessagePredictor(core.Config{WindowSize: 64, MaxLag: 32})
+	senders := []int64{1, 2, 5, 7, 9}
+	sizes := []int64{3240, 10240, 19440, 3240, 10240}
+	for i := 0; i < 200; i++ {
+		mp.Observe(int(senders[i%len(senders)]), sizes[i%len(sizes)])
+	}
+	fc := mp.Forecast(5)
+	if len(fc) != 5 {
+		t.Fatalf("forecast length=%d want 5", len(fc))
+	}
+	for i, f := range fc {
+		if !f.OK {
+			t.Fatalf("forecast %d not OK", i)
+		}
+		wantSender := int(senders[(200+i)%len(senders)])
+		wantSize := sizes[(200+i)%len(sizes)]
+		if f.Sender != wantSender || f.Size != wantSize {
+			t.Errorf("forecast %d = %+v, want sender %d size %d", i, f, wantSender, wantSize)
+		}
+		if f.Ahead != i+1 {
+			t.Errorf("forecast %d Ahead=%d want %d", i, f.Ahead, i+1)
+		}
+	}
+	bySender, ok := mp.ForecastSenders(5)
+	if !ok {
+		t.Fatal("ForecastSenders should succeed")
+	}
+	if len(bySender) != 5 {
+		t.Errorf("expected 5 distinct senders, got %v", bySender)
+	}
+	mp.Reset()
+	if _, ok := mp.ForecastSenders(1); ok {
+		t.Error("after reset ForecastSenders must abstain")
+	}
+}
+
+func TestMessagePredictorAccessors(t *testing.T) {
+	s, z := NewLastValue(), NewLastValue()
+	mp := NewMessagePredictor(s, z)
+	if mp.SenderPredictor() != s || mp.SizePredictor() != z {
+		t.Error("accessors should return the wrapped predictors")
+	}
+	mp.Observe(3, 100)
+	fc := mp.Forecast(2)
+	if !fc[0].OK || fc[0].Sender != 3 || fc[0].Size != 100 {
+		t.Errorf("forecast[0]=%+v want sender 3 size 100", fc[0])
+	}
+	if fc[1].OK {
+		t.Error("last-value based message predictor must abstain at +2")
+	}
+}
+
+// Property: no predictor panics and Predict never reports ok before any
+// observation, for arbitrary streams.
+func TestPredictorsNeverPanicAndAbstainWhenEmpty(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := p.Predict(1); ok {
+			t.Errorf("%s: fresh predictor must abstain", name)
+		}
+	}
+	f := func(raw []uint8, ks []uint8) bool {
+		for _, name := range Names() {
+			p, err := New(name)
+			if err != nil {
+				return false
+			}
+			for _, b := range raw {
+				p.Observe(int64(b % 6))
+				for _, kb := range ks {
+					p.Predict(int(kb%7) - 1) // includes k <= 0
+				}
+			}
+			p.Reset()
+			if _, ok := p.Predict(1); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPredictorsObservePredict(b *testing.B) {
+	pattern := repeat([]int64{1, 2, 5, 7, 9, 1, 2, 5, 7, 9, 1, 2, 5, 7, 9, 1, 2, 7}, 1024)
+	for _, name := range Names() {
+		b.Run(name, func(b *testing.B) {
+			p, err := New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Observe(pattern[i%len(pattern)])
+				p.Predict(1)
+			}
+		})
+	}
+}

@@ -1,0 +1,183 @@
+// Package report renders the reproduction's experiment results as plain
+// text: the Table 1 comparison, the accuracy series behind Figures 3 and
+// 4, the stream excerpts of Figures 1 and 2 and the scalability reports of
+// Section 2. The output is deliberately simple ASCII so it can be diffed,
+// grepped and pasted into EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpipredict/internal/evalx"
+	"mpipredict/internal/scalability"
+	"mpipredict/internal/trace"
+)
+
+// Table1 renders the measured-vs-paper Table 1 comparison.
+func Table1(rows []evalx.Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — per-process message characterisation (measured | paper)\n")
+	fmt.Fprintf(&b, "%-8s %5s | %9s %9s | %8s %8s | %6s %6s | %7s %7s\n",
+		"app", "procs", "p2p", "p2p*", "coll", "coll*", "sizes", "sizes*", "senders", "send*")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %5d | %9d %9d | %8d %8d | %6d %6d | %7d %7d\n",
+			r.App, r.Procs, r.P2PMsgs, r.PaperP2P, r.CollMsgs, r.PaperColl,
+			r.MsgSizes, r.PaperSizes, r.Senders, r.PaperSend)
+	}
+	b.WriteString("(* = value reported in the paper; 0 means the paper has no value)\n")
+	return b.String()
+}
+
+// AccuracyFigure renders the Figure 3 / Figure 4 data: one row per
+// (workload, process count, stream kind), with the +1..+5 accuracies as
+// percentages.
+func AccuracyFigure(fig evalx.FigureResult) string {
+	title := "Figure 3 — prediction accuracy of the logical MPI communication"
+	if fig.Level == trace.Physical {
+		title = "Figure 4 — prediction accuracy of the physical MPI communication"
+	}
+	type key struct {
+		app   string
+		procs int
+		kind  evalx.StreamKind
+	}
+	series := make(map[key][]float64)
+	horizons := 0
+	for _, c := range fig.Cells {
+		k := key{c.App, c.Procs, c.Kind}
+		if len(series[k]) < c.Horizon {
+			grown := make([]float64, c.Horizon)
+			copy(grown, series[k])
+			series[k] = grown
+		}
+		series[k][c.Horizon-1] = c.Accuracy
+		if c.Horizon > horizons {
+			horizons = c.Horizon
+		}
+	}
+	keys := make([]key, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].app != keys[j].app {
+			return keys[i].app < keys[j].app
+		}
+		if keys[i].procs != keys[j].procs {
+			return keys[i].procs < keys[j].procs
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%-8s %5s %-7s", "app", "procs", "stream")
+	for k := 1; k <= horizons; k++ {
+		fmt.Fprintf(&b, " %6s", fmt.Sprintf("+%d", k))
+	}
+	fmt.Fprintln(&b)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-8s %5d %-7s", k.app, k.procs, k.kind)
+		for _, acc := range series[k] {
+			fmt.Fprintf(&b, " %5.1f%%", 100*acc)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// Figure1 renders the detected periods and a short excerpt of the BT.9
+// streams.
+func Figure1(res evalx.Figure1Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — iterative pattern at process %d of %s.%d\n", res.Receiver, res.App, res.Procs)
+	fmt.Fprintf(&b, "detected sender-stream period: %d (paper: %d)\n", res.SenderPeriod, evalx.PaperFigure1Period)
+	fmt.Fprintf(&b, "detected size-stream period:   %d (paper: %d)\n", res.SizePeriod, evalx.PaperFigure1Period)
+	fmt.Fprintf(&b, "sender excerpt: %s\n", formatSeries(res.SenderExcerpt, res.SenderPeriod))
+	fmt.Fprintf(&b, "size excerpt:   %s\n", formatSeries(res.SizeExcerpt, res.SizePeriod))
+	return b.String()
+}
+
+// Figure2 renders the logical vs physical sender streams side by side,
+// marking the positions at which the physical arrival order deviates.
+func Figure2(res evalx.Figure2Result, limit int) string {
+	if limit <= 0 || limit > len(res.Logical) {
+		limit = len(res.Logical)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 — logical vs physical sender stream at process %d of %s.%d\n",
+		res.Receiver, res.App, res.Procs)
+	fmt.Fprintf(&b, "positions differing: %.1f%%\n", res.MismatchPercent)
+	var logical, physical, marks strings.Builder
+	for i := 0; i < limit; i++ {
+		logical.WriteString(fmt.Sprintf("%2d ", res.Logical[i]))
+		physical.WriteString(fmt.Sprintf("%2d ", res.Physical[i]))
+		if res.Logical[i] != res.Physical[i] {
+			marks.WriteString(" ^ ")
+		} else {
+			marks.WriteString("   ")
+		}
+	}
+	fmt.Fprintf(&b, "logical:  %s\n", logical.String())
+	fmt.Fprintf(&b, "physical: %s\n", physical.String())
+	fmt.Fprintf(&b, "          %s\n", marks.String())
+	return b.String()
+}
+
+// formatSeries prints a series with a separator at every period boundary.
+func formatSeries(xs []int64, period int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if period > 0 && i > 0 && i%period == 0 {
+			b.WriteString("| ")
+		}
+		fmt.Fprintf(&b, "%d ", x)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Buffers renders the Section 2.1 memory-reduction report.
+func Buffers(app string, procs int, stats scalability.BufferStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2.1 — prediction-driven buffer allocation (%s, %d procs)\n", app, procs)
+	fmt.Fprintf(&b, "messages: %d  fast-path rate: %.1f%%\n", stats.Messages, 100*stats.FastPathRate())
+	fmt.Fprintf(&b, "static per-peer memory: %s   prediction-driven peak: %s   reduction: %.1fx\n",
+		formatBytes(stats.StaticMemory), formatBytes(stats.PeakMemory), stats.MemoryReductionFactor())
+	return b.String()
+}
+
+// Credits renders the Section 2.2 flow-control report.
+func Credits(app string, procs int, stats scalability.CreditStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2.2 — credit-based control flow (%s, %d procs)\n", app, procs)
+	fmt.Fprintf(&b, "messages: %d  credited rate: %.1f%%\n", stats.Messages, 100*stats.CreditedRate())
+	fmt.Fprintf(&b, "uncontrolled incast exposure: %s   credited peak reservation: %s   reduction: %.1fx\n",
+		formatBytes(stats.UncontrolledExposureBytes), formatBytes(stats.PeakReservedBytes), stats.ExposureReductionFactor())
+	return b.String()
+}
+
+// Protocol renders the Section 2.3 rendezvous-elimination report.
+func Protocol(app string, procs int, stats scalability.ProtocolStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2.3 — rendezvous elimination (%s, %d procs)\n", app, procs)
+	fmt.Fprintf(&b, "messages: %d  large (rendezvous) messages: %d  handshakes eliminated: %.1f%%\n",
+		stats.Messages, stats.LargeMessages, 100*stats.EliminationRate())
+	fmt.Fprintf(&b, "summed latency: baseline %.1f ms, with prediction %.1f ms (%.1f%% saved)\n",
+		stats.BaselineLatencyUS/1000, stats.PredictedLatencyUS/1000, 100*stats.LatencySavingFraction())
+	return b.String()
+}
+
+// formatBytes renders a byte count with a binary unit.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

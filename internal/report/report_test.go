@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mpipredict/internal/evalx"
+	"mpipredict/internal/scalability"
+	"mpipredict/internal/trace"
+)
+
+func TestTable1Rendering(t *testing.T) {
+	rows := []evalx.Table1Row{
+		{App: "bt", Procs: 9, P2PMsgs: 3600, PaperP2P: 3651, CollMsgs: 9, PaperColl: 9, MsgSizes: 3, PaperSizes: 3, Senders: 6, PaperSend: 7},
+		{App: "is", Procs: 4, P2PMsgs: 11, PaperP2P: 11, CollMsgs: 88, PaperColl: 89, MsgSizes: 3, PaperSizes: 3, Senders: 3, PaperSend: 4},
+	}
+	out := Table1(rows)
+	for _, want := range []string{"Table 1", "bt", "3600", "3651", "is", "88", "89"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAccuracyFigureRendering(t *testing.T) {
+	fig := evalx.FigureResult{
+		Level: trace.Logical,
+		Cells: []evalx.FigureCell{
+			{App: "bt", Procs: 4, Kind: evalx.SenderStream, Horizon: 1, Accuracy: 0.98},
+			{App: "bt", Procs: 4, Kind: evalx.SenderStream, Horizon: 2, Accuracy: 0.97},
+			{App: "bt", Procs: 4, Kind: evalx.SizeStream, Horizon: 1, Accuracy: 0.99},
+		},
+	}
+	out := AccuracyFigure(fig)
+	if !strings.Contains(out, "Figure 3") {
+		t.Errorf("logical level should render as Figure 3:\n%s", out)
+	}
+	if !strings.Contains(out, "98.0%") || !strings.Contains(out, "sender") || !strings.Contains(out, "size") {
+		t.Errorf("missing data in:\n%s", out)
+	}
+	fig.Level = trace.Physical
+	if !strings.Contains(AccuracyFigure(fig), "Figure 4") {
+		t.Error("physical level should render as Figure 4")
+	}
+}
+
+func TestFigure1And2Rendering(t *testing.T) {
+	f1 := evalx.Figure1Result{
+		App: "bt", Procs: 9, Receiver: 3,
+		SenderPeriod: 18, SizePeriod: 18,
+		SenderExcerpt: []int64{1, 2, 5, 7, 9, 2},
+		SizeExcerpt:   []int64{3240, 10240, 19440, 3240, 10240, 19440},
+	}
+	out := Figure1(f1)
+	if !strings.Contains(out, "period: 18") || !strings.Contains(out, "3240") {
+		t.Errorf("Figure1 rendering wrong:\n%s", out)
+	}
+
+	f2 := evalx.Figure2Result{
+		App: "bt", Procs: 4, Receiver: 3,
+		Logical:         []int64{0, 0, 2, 2, 1},
+		Physical:        []int64{0, 2, 0, 2, 1},
+		MismatchPercent: 40,
+	}
+	out2 := Figure2(f2, 5)
+	if !strings.Contains(out2, "Figure 2") || !strings.Contains(out2, "40.0%") || !strings.Contains(out2, "^") {
+		t.Errorf("Figure2 rendering wrong:\n%s", out2)
+	}
+	// Limit larger than the stream is clamped.
+	if Figure2(f2, 100) == "" {
+		t.Error("rendering with an oversized limit should still work")
+	}
+}
+
+func TestScalabilityRendering(t *testing.T) {
+	buf := scalability.BufferStats{
+		Messages: 100, FastPath: 95, SlowPath: 5,
+		PeakBuffers: 3, PeakMemory: 3 * 16384, StaticMemory: 1023 * 16384,
+	}
+	out := Buffers("bt", 1024, buf)
+	if !strings.Contains(out, "Section 2.1") || !strings.Contains(out, "95.0%") {
+		t.Errorf("buffer report wrong:\n%s", out)
+	}
+	cred := scalability.CreditStats{
+		Messages: 100, Credited: 80, Uncredited: 20,
+		PeakReservedBytes: 1 << 20, UncontrolledExposureBytes: 1 << 30,
+	}
+	out = Credits("is", 1024, cred)
+	if !strings.Contains(out, "Section 2.2") || !strings.Contains(out, "80.0%") || !strings.Contains(out, "GiB") {
+		t.Errorf("credit report wrong:\n%s", out)
+	}
+	prot := scalability.ProtocolStats{
+		Messages: 50, LargeMessages: 20, Eliminated: 18,
+		BaselineLatencyUS: 100000, PredictedLatencyUS: 80000,
+	}
+	out = Protocol("lu", 32, prot)
+	if !strings.Contains(out, "Section 2.3") || !strings.Contains(out, "90.0%") || !strings.Contains(out, "20.0% saved") {
+		t.Errorf("protocol report wrong:\n%s", out)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:             "512 B",
+		2048:            "2.0 KiB",
+		3 * 1 << 20:     "3.0 MiB",
+		5 * (1 << 30):   "5.0 GiB",
+		160 * (1 << 20): "160.0 MiB",
+	}
+	for in, want := range cases {
+		if got := formatBytes(in); got != want {
+			t.Errorf("formatBytes(%d)=%q want %q", in, got, want)
+		}
+	}
+}

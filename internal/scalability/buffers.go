@@ -1,0 +1,169 @@
+package scalability
+
+import (
+	"fmt"
+
+	"mpipredict/internal/predictor"
+	"mpipredict/internal/trace"
+)
+
+// DefaultPerPeerBufferBytes is the per-peer eager buffer size the paper
+// quotes for the IBM MPI implementation (16 KB).
+const DefaultPerPeerBufferBytes = 16 * 1024
+
+// StaticBufferMemory returns the memory one process dedicates to per-peer
+// receive buffers under the conventional scheme: one buffer for every
+// other process. At 10 000 processes and 16 KB per peer this is the
+// 160 MB per process figure of Section 2.1.
+func StaticBufferMemory(procs int, perPeerBytes int64) int64 {
+	if procs < 1 {
+		return 0
+	}
+	return int64(procs-1) * perPeerBytes
+}
+
+// BufferConfig parameterises the prediction-driven buffer manager.
+type BufferConfig struct {
+	// PerPeerBytes is the size of one eager receive buffer.
+	PerPeerBytes int64
+	// Horizon is how many future messages the receiver provisions for.
+	Horizon int
+	// Forecaster produces the (sender, size) forecasts. Nil selects a
+	// DPD-based message predictor with default configuration.
+	Forecaster *predictor.MessagePredictor
+}
+
+func (c BufferConfig) withDefaults() BufferConfig {
+	if c.PerPeerBytes <= 0 {
+		c.PerPeerBytes = DefaultPerPeerBufferBytes
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 5
+	}
+	if c.Forecaster == nil {
+		c.Forecaster = predictor.NewDPDMessagePredictor(defaultPredictorConfig())
+	}
+	return c
+}
+
+// BufferStats summarises a buffer-manager replay.
+type BufferStats struct {
+	// Messages is the number of messages processed.
+	Messages int64
+	// FastPath counts messages whose sender had a pre-allocated buffer
+	// (the eager path is taken without any control-flow message).
+	FastPath int64
+	// SlowPath counts mispredictions: the sender was not provisioned, so
+	// the message has to take the ask-permission path of Section 2.1.
+	SlowPath int64
+	// PeakBuffers is the largest number of simultaneously allocated
+	// buffers.
+	PeakBuffers int
+	// PeakMemory is PeakBuffers times the per-peer buffer size.
+	PeakMemory int64
+	// StaticMemory is the memory the conventional one-buffer-per-peer
+	// scheme would need for the same number of processes.
+	StaticMemory int64
+}
+
+// FastPathRate returns the fraction of messages that hit a pre-allocated
+// buffer.
+func (s BufferStats) FastPathRate() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.FastPath) / float64(s.Messages)
+}
+
+// MemoryReductionFactor returns how many times smaller the peak
+// prediction-driven buffer memory is compared to the static scheme.
+func (s BufferStats) MemoryReductionFactor() float64 {
+	if s.PeakMemory == 0 {
+		return 0
+	}
+	return float64(s.StaticMemory) / float64(s.PeakMemory)
+}
+
+// BufferManager allocates receive buffers for the senders the predictor
+// expects next. It models the receiver side of the Section 2.1 protocol;
+// the trace replay drives it with the physically arriving messages.
+type BufferManager struct {
+	cfg       BufferConfig
+	procs     int
+	allocated map[int]bool
+	stats     BufferStats
+}
+
+// NewBufferManager returns a manager for a job with the given number of
+// processes.
+func NewBufferManager(procs int, cfg BufferConfig) (*BufferManager, error) {
+	if procs < 2 {
+		return nil, fmt.Errorf("scalability: need at least 2 processes, got %d", procs)
+	}
+	cfg = cfg.withDefaults()
+	return &BufferManager{
+		cfg:       cfg,
+		procs:     procs,
+		allocated: make(map[int]bool),
+		stats:     BufferStats{StaticMemory: StaticBufferMemory(procs, cfg.PerPeerBytes)},
+	}, nil
+}
+
+// OnMessage processes one arriving message: it checks whether the sender
+// had a provisioned buffer (fast path) and then updates the forecast and
+// re-provisions buffers for the senders expected next.
+func (m *BufferManager) OnMessage(sender int, size int64) {
+	m.stats.Messages++
+	if m.allocated[sender] {
+		m.stats.FastPath++
+	} else {
+		m.stats.SlowPath++
+	}
+	m.cfg.Forecaster.Observe(sender, size)
+	m.reprovision()
+}
+
+// reprovision reallocates buffers for the currently forecast senders. The
+// previous allocation is released first; in a real implementation the
+// buffers would be recycled, but for the memory accounting only the
+// simultaneous peak matters.
+func (m *BufferManager) reprovision() {
+	forecast, ok := m.cfg.Forecaster.ForecastSenders(m.cfg.Horizon)
+	if !ok {
+		// No prediction available: keep the current allocation so the
+		// learning phase does not flap.
+		return
+	}
+	next := make(map[int]bool, len(forecast))
+	for sender := range forecast {
+		if sender >= 0 && sender < m.procs {
+			next[sender] = true
+		}
+	}
+	m.allocated = next
+	if len(next) > m.stats.PeakBuffers {
+		m.stats.PeakBuffers = len(next)
+	}
+	m.stats.PeakMemory = int64(m.stats.PeakBuffers) * m.cfg.PerPeerBytes
+}
+
+// Stats returns the statistics collected so far.
+func (m *BufferManager) Stats() BufferStats { return m.stats }
+
+// ReplayBuffers replays the physical message stream of one receiver
+// through a prediction-driven buffer manager and reports the fast-path
+// rate and the memory the receiver actually needed.
+func ReplayBuffers(tr *trace.Trace, receiver int, cfg BufferConfig) (BufferStats, error) {
+	m, err := NewBufferManager(tr.Procs, cfg)
+	if err != nil {
+		return BufferStats{}, err
+	}
+	recs := tr.Filter(receiver, trace.Physical)
+	if len(recs) == 0 {
+		return BufferStats{}, fmt.Errorf("scalability: receiver %d has no physical records", receiver)
+	}
+	for _, r := range recs {
+		m.OnMessage(r.Sender, r.Size)
+	}
+	return m.Stats(), nil
+}

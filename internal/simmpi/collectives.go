@@ -1,0 +1,265 @@
+package simmpi
+
+import "mpipredict/internal/trace"
+
+// Tags used internally by the collective algorithms. They live far above
+// the tag space applications normally use so that collective traffic never
+// matches application point-to-point receives.
+const (
+	tagBarrier = 1<<20 + iota
+	tagBcast
+	tagReduce
+	tagAllreduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagAlltoallv
+)
+
+// collSend and collRecv are the point-to-point primitives used inside
+// collective algorithms; they record messages with Kind Collective and the
+// name of the collective operation, which is how Table 1 separates
+// point-to-point from collective message counts.
+func (r *Rank) collSend(dst, tag int, size int64, op string) {
+	r.send(dst, tag, size, trace.Collective, op)
+}
+
+func (r *Rank) collRecv(src, tag int, op string) Message {
+	return r.recv(src, tag, op)
+}
+
+// controlSize is the payload size used for pure synchronisation messages
+// (barrier and similar), in bytes.
+const controlSize = 4
+
+// Barrier blocks until every rank has entered it. It uses the
+// dissemination algorithm: ceil(log2 p) rounds of exchanges with ranks at
+// increasing distance.
+func (r *Rank) Barrier() {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	for k := 1; k < p; k <<= 1 {
+		dst := (r.id + k) % p
+		src := (r.id - k + p) % p
+		r.collSend(dst, tagBarrier, controlSize, "barrier")
+		r.collRecv(src, tagBarrier, "barrier")
+	}
+}
+
+// Bcast broadcasts size bytes from root to every rank using a binomial
+// tree, like the classic MPICH implementation.
+func (r *Rank) Bcast(root int, size int64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if root < 0 || root >= p {
+		panic("simmpi: Bcast root out of range")
+	}
+	vrank := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			vsrc := vrank - mask
+			src := (vsrc + root) % p
+			r.collRecv(src, tagBcast, "bcast")
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < p {
+			vdst := vrank + mask
+			dst := (vdst + root) % p
+			r.collSend(dst, tagBcast, size, "bcast")
+		}
+		mask >>= 1
+	}
+}
+
+// Reduce combines size bytes from every rank onto root using a binomial
+// tree (commutative reduction).
+func (r *Rank) Reduce(root int, size int64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if root < 0 || root >= p {
+		panic("simmpi: Reduce root out of range")
+	}
+	vrank := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask == 0 {
+			vsrc := vrank | mask
+			if vsrc < p {
+				src := (vsrc + root) % p
+				r.collRecv(src, tagReduce, "reduce")
+			}
+		} else {
+			vdst := vrank &^ mask
+			dst := (vdst + root) % p
+			r.collSend(dst, tagReduce, size, "reduce")
+			break
+		}
+		mask <<= 1
+	}
+}
+
+// Allreduce combines size bytes across all ranks and leaves the result on
+// every rank. Power-of-two communicator sizes use recursive doubling;
+// other sizes fall back to Reduce-to-0 followed by Bcast-from-0.
+func (r *Rank) Allreduce(size int64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	if p&(p-1) == 0 {
+		for mask := 1; mask < p; mask <<= 1 {
+			partner := r.id ^ mask
+			r.collSend(partner, tagAllreduce, size, "allreduce")
+			r.collRecv(partner, tagAllreduce, "allreduce")
+		}
+		return
+	}
+	r.reduceAs(0, size, "allreduce")
+	r.bcastAs(0, size, "allreduce")
+}
+
+// reduceAs and bcastAs are Reduce/Bcast variants that keep the caller's
+// operation name in the trace, so an Allreduce on a non-power-of-two
+// communicator is still attributed to "allreduce".
+func (r *Rank) reduceAs(root int, size int64, op string) {
+	p := r.Size()
+	vrank := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask == 0 {
+			vsrc := vrank | mask
+			if vsrc < p {
+				r.collRecv((vsrc+root)%p, tagReduce, op)
+			}
+		} else {
+			vdst := vrank &^ mask
+			r.collSend((vdst+root)%p, tagReduce, size, op)
+			break
+		}
+		mask <<= 1
+	}
+}
+
+func (r *Rank) bcastAs(root int, size int64, op string) {
+	p := r.Size()
+	vrank := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if vrank&mask != 0 {
+			r.collRecv(((vrank-mask)+root)%p, tagBcast, op)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < p {
+			r.collSend(((vrank+mask)+root)%p, tagBcast, size, op)
+		}
+		mask >>= 1
+	}
+}
+
+// Gather collects size bytes from every rank onto root (linear algorithm,
+// deterministic source order).
+func (r *Rank) Gather(root int, size int64) {
+	p := r.Size()
+	if root < 0 || root >= p {
+		panic("simmpi: Gather root out of range")
+	}
+	if r.id == root {
+		for src := 0; src < p; src++ {
+			if src == root {
+				continue
+			}
+			r.collRecv(src, tagGather, "gather")
+		}
+		return
+	}
+	r.collSend(root, tagGather, size, "gather")
+}
+
+// Scatter distributes size bytes from root to every other rank (linear).
+func (r *Rank) Scatter(root int, size int64) {
+	p := r.Size()
+	if root < 0 || root >= p {
+		panic("simmpi: Scatter root out of range")
+	}
+	if r.id == root {
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			r.collSend(dst, tagScatter, size, "scatter")
+		}
+		return
+	}
+	r.collRecv(root, tagScatter, "scatter")
+}
+
+// Allgather shares size bytes per rank with every rank using the ring
+// algorithm: p-1 steps, each forwarding one block to the right neighbour.
+func (r *Rank) Allgather(size int64) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		r.collSend(right, tagAllgather, size, "allgather")
+		r.collRecv(left, tagAllgather, "allgather")
+	}
+}
+
+// Alltoall exchanges size bytes between every pair of ranks. Like the
+// MPICH non-blocking algorithm, every rank first posts all of its sends
+// (staggered by rank so the pattern is not a synchronized burst) and then
+// completes the receives in ascending source order. The logical receive
+// order is therefore deterministic while the physical arrival order is
+// exposed to network jitter across all in-flight messages — the effect
+// that makes IS the least predictable benchmark at the physical level.
+func (r *Rank) Alltoall(size int64) {
+	p := r.Size()
+	for i := 1; i < p; i++ {
+		dst := (r.id + i) % p
+		r.collSend(dst, tagAlltoall, size, "alltoall")
+	}
+	for src := 0; src < p; src++ {
+		if src == r.id {
+			continue
+		}
+		r.collRecv(src, tagAlltoall, "alltoall")
+	}
+}
+
+// Alltoallv is Alltoall with per-destination sizes. sizes must have one
+// entry per rank; the entry for the caller's own rank is ignored.
+func (r *Rank) Alltoallv(sizes []int64) {
+	p := r.Size()
+	if len(sizes) != p {
+		panic("simmpi: Alltoallv needs one size per rank")
+	}
+	for i := 1; i < p; i++ {
+		dst := (r.id + i) % p
+		r.collSend(dst, tagAlltoallv, sizes[dst], "alltoallv")
+	}
+	for src := 0; src < p; src++ {
+		if src == r.id {
+			continue
+		}
+		r.collRecv(src, tagAlltoallv, "alltoallv")
+	}
+}

@@ -1,0 +1,270 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Var() != 0 || r.StdDev() != 0 {
+		t.Fatalf("empty Running should be all zero, got %s", r.String())
+	}
+}
+
+func TestRunningSingle(t *testing.T) {
+	var r Running
+	r.Add(42)
+	if r.N() != 1 {
+		t.Fatalf("N=%d want 1", r.N())
+	}
+	if r.Mean() != 42 {
+		t.Fatalf("mean=%v want 42", r.Mean())
+	}
+	if r.Var() != 0 {
+		t.Fatalf("variance of single sample should be 0, got %v", r.Var())
+	}
+	if r.Min() != 42 || r.Max() != 42 {
+		t.Fatalf("min/max = %v/%v want 42/42", r.Min(), r.Max())
+	}
+}
+
+func TestRunningKnownValues(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if !almostEqual(r.Mean(), 5, 1e-12) {
+		t.Errorf("mean=%v want 5", r.Mean())
+	}
+	if !almostEqual(r.StdDev(), 2, 1e-12) {
+		t.Errorf("stddev=%v want 2", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min/max=%v/%v want 2/9", r.Min(), r.Max())
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	var r Running
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*13 + 100
+		r.Add(xs[i])
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	if !almostEqual(r.Mean(), mean, 1e-9) {
+		t.Errorf("mean mismatch: %v vs %v", r.Mean(), mean)
+	}
+	if !almostEqual(r.Var(), ss/float64(len(xs)), 1e-7) {
+		t.Errorf("var mismatch: %v vs %v", r.Var(), ss/float64(len(xs)))
+	}
+}
+
+func TestHistBasic(t *testing.T) {
+	h := NewHist()
+	if h.Total() != 0 || h.Distinct() != 0 {
+		t.Fatal("new hist should be empty")
+	}
+	for _, v := range []int64{1, 1, 2, 3, 3, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total=%d want 6", h.Total())
+	}
+	if h.Distinct() != 3 {
+		t.Errorf("distinct=%d want 3", h.Distinct())
+	}
+	if h.Count(3) != 3 || h.Count(2) != 1 || h.Count(99) != 0 {
+		t.Errorf("unexpected counts: %d %d %d", h.Count(3), h.Count(2), h.Count(99))
+	}
+	vals := h.Values()
+	if len(vals) != 3 || vals[0] != 1 || vals[1] != 2 || vals[2] != 3 {
+		t.Errorf("values=%v want [1 2 3]", vals)
+	}
+}
+
+func TestHistAddN(t *testing.T) {
+	h := NewHist()
+	h.AddN(5, 10)
+	h.AddN(6, 0)
+	h.AddN(7, -3)
+	if h.Total() != 10 {
+		t.Errorf("total=%d want 10", h.Total())
+	}
+	if h.Distinct() != 1 {
+		t.Errorf("distinct=%d want 1", h.Distinct())
+	}
+}
+
+func TestHistMode(t *testing.T) {
+	h := NewHist()
+	if _, _, ok := h.Mode(); ok {
+		t.Fatal("mode of empty hist should not be ok")
+	}
+	h.AddN(10, 5)
+	h.AddN(20, 5)
+	h.AddN(30, 2)
+	v, c, ok := h.Mode()
+	if !ok || c != 5 || v != 10 {
+		t.Errorf("mode=(%d,%d,%v) want (10,5,true) with tie broken by smaller value", v, c, ok)
+	}
+}
+
+func TestHistFrequentExcludesRareValues(t *testing.T) {
+	h := NewHist()
+	// A BT-like size stream: three frequent sizes plus one setup message.
+	h.AddN(3240, 800)
+	h.AddN(10240, 800)
+	h.AddN(19440, 800)
+	h.AddN(4, 1)
+	freq := h.Frequent(0.99)
+	if len(freq) != 3 {
+		t.Fatalf("Frequent(0.99) = %v, want the 3 dominant sizes", freq)
+	}
+	all := h.Frequent(1.0)
+	if len(all) != 4 {
+		t.Fatalf("Frequent(1.0) = %v, want all 4 values", all)
+	}
+}
+
+func TestHistFrequentEdgeCases(t *testing.T) {
+	h := NewHist()
+	if got := h.Frequent(0.9); got != nil {
+		t.Errorf("empty hist Frequent should be nil, got %v", got)
+	}
+	h.Add(1)
+	if got := h.Frequent(0); got != nil {
+		t.Errorf("coverage 0 should return nil, got %v", got)
+	}
+	if got := h.Frequent(5); len(got) != 1 {
+		t.Errorf("coverage >1 clamps to 1, got %v", got)
+	}
+}
+
+func TestHistEntropy(t *testing.T) {
+	h := NewHist()
+	if h.Entropy() != 0 {
+		t.Error("entropy of empty hist should be 0")
+	}
+	h.AddN(1, 100)
+	if h.Entropy() != 0 {
+		t.Error("entropy of single-value hist should be 0")
+	}
+	h2 := NewHist()
+	h2.AddN(1, 50)
+	h2.AddN(2, 50)
+	if !almostEqual(h2.Entropy(), 1, 1e-12) {
+		t.Errorf("entropy of uniform 2-value hist = %v want 1", h2.Entropy())
+	}
+	h4 := NewHist()
+	for v := int64(0); v < 4; v++ {
+		h4.AddN(v, 25)
+	}
+	if !almostEqual(h4.Entropy(), 2, 1e-12) {
+		t.Errorf("entropy of uniform 4-value hist = %v want 2", h4.Entropy())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []int64{9, 1, 8, 2, 7, 3, 6, 4, 5, 10}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10}, {-5, 1}, {150, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %d want %d", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("percentile of empty slice should be 0")
+	}
+	// Percentile must not mutate its input.
+	if xs[0] != 9 {
+		t.Error("Percentile mutated its input slice")
+	}
+}
+
+func TestMeanInt64(t *testing.T) {
+	if MeanInt64(nil) != 0 {
+		t.Error("mean of empty slice should be 0")
+	}
+	if got := MeanInt64([]int64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("mean=%v want 2.5", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	if DistinctInt64([]int64{1, 1, 2, 3, 3}) != 3 {
+		t.Error("DistinctInt64 wrong")
+	}
+	if DistinctInts([]int{5, 5, 5}) != 1 {
+		t.Error("DistinctInts wrong")
+	}
+	if DistinctInt64(nil) != 0 || DistinctInts(nil) != 0 {
+		t.Error("Distinct of nil should be 0")
+	}
+}
+
+// Property: the histogram total always equals the number of Add calls and
+// Frequent(1.0) always covers every distinct value.
+func TestHistProperties(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := NewHist()
+		for _, v := range vals {
+			h.Add(int64(v))
+		}
+		if h.Total() != int64(len(vals)) {
+			return false
+		}
+		if len(vals) > 0 && len(h.Frequent(1.0)) != h.Distinct() {
+			return false
+		}
+		return h.Distinct() == DistinctInt64(func() []int64 {
+			out := make([]int64, len(vals))
+			for i, v := range vals {
+				out[i] = int64(v)
+			}
+			return out
+		}())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Running mean always lies between Min and Max.
+func TestRunningMeanBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var r Running
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue // keep magnitudes physical; extreme values only test float rounding
+			}
+			r.Add(v)
+		}
+		if r.N() == 0 {
+			return true
+		}
+		return r.Mean() >= r.Min()-1e-6 && r.Mean() <= r.Max()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// header is the first line of a JSONL trace file; it carries the run
+// metadata so the per-record lines only need the event fields.
+type header struct {
+	Format string `json:"format"`
+	App    string `json:"app"`
+	Procs  int    `json:"procs"`
+}
+
+// formatName identifies the on-disk format; bump it if Record changes
+// incompatibly.
+const formatName = "mpipredict-trace-v1"
+
+// WriteJSONL streams the trace to w as one JSON object per line: a header
+// line followed by one line per record. The format is deliberately
+// trivial so traces can be inspected, grepped and post-processed with
+// standard tools.
+func WriteJSONL(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Format: formatName, App: t.App, Procs: t.Procs}); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for i := range t.Records {
+		if err := enc.Encode(&t.Records[i]); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads a trace previously written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	dec := json.NewDecoder(br)
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if h.Format != formatName {
+		return nil, fmt.Errorf("trace: unsupported format %q (want %q)", h.Format, formatName)
+	}
+	t := New(h.App, h.Procs)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("trace: reading record %d: %w", len(t.Records), err)
+		}
+		// Append reassigns Seq deterministically; records written by
+		// WriteJSONL are already in order, so the values round-trip.
+		t.Append(rec)
+	}
+	return t, nil
+}
+
+// SaveFile writes the trace to the named file, creating or truncating it.
+func SaveFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating %s: %w", path, err)
+	}
+	if err := WriteJSONL(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace from the named file.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}

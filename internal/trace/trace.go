@@ -1,0 +1,288 @@
+// Package trace defines the message-trace model shared by the simulated
+// MPI runtime, the evaluation harness and the scalability applications.
+//
+// The paper instruments MPICH at two levels (Section 3.1):
+//
+//   - the logical level — the MPI calls issued by the application against
+//     the top of the MPI library; their order is a function of the
+//     application code only, and
+//   - the physical level — the point at which messages actually arrive at
+//     the low level of the library; their order additionally reflects
+//     network latencies, load imbalance and other sources of randomness.
+//
+// A Trace holds the receive events of one run at both levels. The streams
+// the predictor consumes — the sequence of sender ranks and of message
+// sizes seen by one receiving process — are extracted with SenderStream
+// and SizeStream.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"mpipredict/internal/stats"
+)
+
+// Level distinguishes the two instrumentation points of the paper.
+type Level int
+
+const (
+	// Logical events are recorded in the order the application's receive
+	// operations complete (top of the MPI library).
+	Logical Level = iota
+	// Physical events are recorded in the order messages arrive at the
+	// low level of the MPI library.
+	Physical
+)
+
+// String returns the level name used in reports and JSONL files.
+func (l Level) String() string {
+	switch l {
+	case Logical:
+		return "logical"
+	case Physical:
+		return "physical"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel converts a level name back into a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "logical":
+		return Logical, nil
+	case "physical":
+		return Physical, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown level %q", s)
+	}
+}
+
+// Kind distinguishes point-to-point messages from messages generated on
+// behalf of collective operations. Table 1 of the paper reports the two
+// counts separately.
+type Kind int
+
+const (
+	// PointToPoint messages come from MPI_Send/MPI_Isend and friends.
+	PointToPoint Kind = iota
+	// Collective messages are generated internally by collective
+	// operations (broadcast, reduce, alltoall, ...).
+	Collective
+)
+
+// String returns the kind name used in reports and JSONL files.
+func (k Kind) String() string {
+	switch k {
+	case PointToPoint:
+		return "p2p"
+	case Collective:
+		return "collective"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Record is one receive event observed at one instrumentation level.
+type Record struct {
+	// Seq is the position of this event in the per-receiver, per-level
+	// stream (0-based).
+	Seq int64 `json:"seq"`
+	// Time is the simulated time (microseconds) at which the event was
+	// recorded.
+	Time float64 `json:"time_us"`
+	// Receiver is the rank that received the message.
+	Receiver int `json:"receiver"`
+	// Sender is the rank that sent the message.
+	Sender int `json:"sender"`
+	// Size is the message payload size in bytes.
+	Size int64 `json:"size"`
+	// Tag is the MPI tag the message was sent with.
+	Tag int `json:"tag"`
+	// Kind says whether the message belongs to a point-to-point exchange
+	// or to a collective operation.
+	Kind Kind `json:"kind"`
+	// Op is the name of the MPI operation that produced the message
+	// ("send", "bcast", "allreduce", ...).
+	Op string `json:"op"`
+	// Level is the instrumentation level the record belongs to.
+	Level Level `json:"level"`
+}
+
+// Trace is the complete set of receive events of one simulated run.
+type Trace struct {
+	// App is the workload name ("bt", "cg", "lu", "is", "sweep3d", ...).
+	App string
+	// Procs is the number of ranks in the run.
+	Procs int
+	// Records holds all receive events, logical and physical interleaved.
+	// Within one (receiver, level) pair they appear in Seq order.
+	Records []Record
+
+	// seqCounts assigns per-(receiver, level) sequence numbers in O(1);
+	// it is rebuilt lazily when a trace is loaded from disk.
+	seqCounts map[streamKey]int64
+}
+
+type streamKey struct {
+	receiver int
+	level    Level
+}
+
+// New returns an empty trace for the given workload and process count.
+func New(app string, procs int) *Trace {
+	return &Trace{App: app, Procs: procs, seqCounts: make(map[streamKey]int64)}
+}
+
+// Append adds a record, assigning its per-receiver, per-level sequence
+// number. It is the only supported way to grow a trace.
+func (t *Trace) Append(r Record) {
+	if t.seqCounts == nil {
+		t.seqCounts = make(map[streamKey]int64)
+		for _, existing := range t.Records {
+			k := streamKey{existing.Receiver, existing.Level}
+			if existing.Seq >= t.seqCounts[k] {
+				t.seqCounts[k] = existing.Seq + 1
+			}
+		}
+	}
+	k := streamKey{r.Receiver, r.Level}
+	r.Seq = t.seqCounts[k]
+	t.seqCounts[k]++
+	t.Records = append(t.Records, r)
+}
+
+// Len returns the total number of records at both levels.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Filter returns the records of one receiver at one level, in Seq order.
+func (t *Trace) Filter(receiver int, level Level) []Record {
+	out := make([]Record, 0)
+	for _, r := range t.Records {
+		if r.Receiver == receiver && r.Level == level {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// SenderStream returns the sequence of sender ranks observed by receiver
+// at the given level — the first of the two streams the paper predicts.
+func (t *Trace) SenderStream(receiver int, level Level) []int64 {
+	recs := t.Filter(receiver, level)
+	out := make([]int64, len(recs))
+	for i, r := range recs {
+		out[i] = int64(r.Sender)
+	}
+	return out
+}
+
+// SizeStream returns the sequence of message sizes observed by receiver at
+// the given level — the second stream the paper predicts.
+func (t *Trace) SizeStream(receiver int, level Level) []int64 {
+	recs := t.Filter(receiver, level)
+	out := make([]int64, len(recs))
+	for i, r := range recs {
+		out[i] = r.Size
+	}
+	return out
+}
+
+// StreamsOfKind returns the sender and size streams of one receiver at one
+// level restricted to the given message kind. Figure 1 of the paper shows
+// the iterative point-to-point pattern of BT without the handful of setup
+// and verification collectives, which this restriction reproduces.
+func (t *Trace) StreamsOfKind(receiver int, level Level, kind Kind) (senders, sizes []int64) {
+	for _, r := range t.Filter(receiver, level) {
+		if r.Kind != kind {
+			continue
+		}
+		senders = append(senders, int64(r.Sender))
+		sizes = append(sizes, r.Size)
+	}
+	return senders, sizes
+}
+
+// Receivers returns the ranks that received at least one message, sorted.
+func (t *Trace) Receivers() []int {
+	seen := map[int]bool{}
+	for _, r := range t.Records {
+		seen[r.Receiver] = true
+	}
+	out := make([]int, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Characterization summarises the message stream received by one process,
+// reproducing one row of Table 1 of the paper.
+type Characterization struct {
+	App       string
+	Procs     int
+	Receiver  int
+	P2PMsgs   int // number of point-to-point messages received
+	CollMsgs  int // number of collective-generated messages received
+	MsgSizes  int // number of frequently appearing distinct message sizes
+	Senders   int // number of frequently appearing distinct sender ranks
+	AllSizes  int // number of distinct sizes including rare ones
+	AllSender int // number of distinct senders including rare ones
+}
+
+// Characterize computes the Table 1 row for one receiver. The paper's
+// footnote explains that the size and sender columns count the
+// *frequently appearing* values; coverage controls the cumulative
+// frequency threshold used for that notion (the Table 1 experiment uses
+// 0.99).
+func (t *Trace) Characterize(receiver int, level Level, coverage float64) Characterization {
+	recs := t.Filter(receiver, level)
+	c := Characterization{App: t.App, Procs: t.Procs, Receiver: receiver}
+	sizes := stats.NewHist()
+	senders := stats.NewHist()
+	for _, r := range recs {
+		switch r.Kind {
+		case PointToPoint:
+			c.P2PMsgs++
+		case Collective:
+			c.CollMsgs++
+		}
+		sizes.Add(r.Size)
+		senders.Add(int64(r.Sender))
+	}
+	c.MsgSizes = len(sizes.Frequent(coverage))
+	c.Senders = len(senders.Frequent(coverage))
+	c.AllSizes = sizes.Distinct()
+	c.AllSender = senders.Distinct()
+	return c
+}
+
+// CharacterizeTypical returns the characterisation of a "typical"
+// receiver: the one whose total message count is the median across all
+// receivers. Table 1 reports per-process numbers; the median process
+// avoids skew from rank 0, which often has extra setup traffic.
+func (t *Trace) CharacterizeTypical(level Level, coverage float64) Characterization {
+	receivers := t.Receivers()
+	if len(receivers) == 0 {
+		return Characterization{App: t.App, Procs: t.Procs, Receiver: -1}
+	}
+	type rc struct {
+		receiver int
+		count    int
+	}
+	counts := make([]rc, 0, len(receivers))
+	for _, r := range receivers {
+		counts = append(counts, rc{r, len(t.Filter(r, level))})
+	}
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].count != counts[j].count {
+			return counts[i].count < counts[j].count
+		}
+		return counts[i].receiver < counts[j].receiver
+	})
+	median := counts[len(counts)/2]
+	return t.Characterize(median.receiver, level, coverage)
+}

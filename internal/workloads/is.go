@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mpipredict/internal/simmpi"
+)
+
+// NAS IS (integer sort) communication skeleton.
+//
+// IS is the collective-dominated benchmark of the study: each of its 11
+// rankings (one warm-up plus 10 timed iterations, class A) performs
+//
+//   - a reduction of the per-bucket key counts followed by a broadcast of
+//     the result (the reference code uses allreduce; reduce+broadcast
+//     keeps the per-leaf message count at the two collective messages per
+//     iteration implied by Table 1),
+//   - an Alltoall of the bucket boundary information (small, fixed size),
+//   - an Alltoallv of the actual keys (large, roughly N/p^2 bytes per
+//     pair), and
+//   - one point-to-point message to the next rank carrying boundary keys
+//     for the partial verification — the 11 point-to-point messages of
+//     Table 1.
+//
+// Each rank therefore receives about 2(p-1) + 2 collective messages per
+// iteration: 89/177/353/705 over the run for 4/8/16/32 processes in
+// Table 1, and this skeleton reproduces those counts almost exactly.
+// Three message sizes dominate: the bucket-count block, the key block and
+// the 8-byte verification message; the senders cover every other rank,
+// which is why physical-level prediction is hardest for IS.
+
+const (
+	isTagVerify = 400 + iota
+)
+
+const (
+	isTotalKeys   = 1 << 23 // class A: 2^23 keys
+	isBucketBytes = 2048    // bucket-count exchange block
+	isKeyBytes    = 4       // bytes per key
+)
+
+func init() {
+	register(entry{
+		info: Info{
+			Name:              "is",
+			PaperProcs:        []int{4, 8, 16, 32},
+			DefaultIterations: 11, // 1 warm-up + 10 timed rankings
+			Description:       "NAS IS skeleton: per-iteration reduce+bcast, alltoall and alltoallv plus one verification point-to-point message",
+		},
+		validProcs: func(p int) error {
+			if !isPowerOfTwo(p) || p < 2 {
+				return fmt.Errorf("workloads: is requires a power-of-two number of processes >= 2, got %d", p)
+			}
+			return nil
+		},
+		build: buildIS,
+		receiver: func(procs int) int {
+			// Rank 2 is an interior node of the binomial reduce tree (it
+			// receives one reduce message and one broadcast message per
+			// iteration), which reproduces the ~2(p-1)+2 collective
+			// messages per iteration implied by Table 1.
+			if procs > 2 {
+				return 2
+			}
+			return procs - 1
+		},
+	})
+}
+
+// isKeyBlockBytes is the per-pair payload of the key redistribution: the
+// class-A keys divided evenly over p buckets and again over p senders.
+func isKeyBlockBytes(p int) int64 {
+	return int64(isTotalKeys / p / p * isKeyBytes)
+}
+
+func buildIS(spec Spec) simmpi.Program {
+	p := spec.Procs
+	keyBlock := isKeyBlockBytes(p)
+	iters := spec.Iterations
+
+	return func(r *simmpi.Rank) {
+		next := (r.ID() + 1) % p
+		prev := (r.ID() - 1 + p) % p
+
+		keySizes := make([]int64, p)
+		for i := range keySizes {
+			keySizes[i] = keyBlock
+		}
+
+		for it := 0; it < iters; it++ {
+			// Local bucket sort of the keys.
+			r.Compute(3000)
+			// Global bucket size counts: reduce to rank 0, broadcast back.
+			r.Reduce(0, isBucketBytes)
+			r.Bcast(0, isBucketBytes)
+			// Bucket boundary info.
+			r.Alltoall(isBucketBytes)
+			// Key redistribution.
+			r.Alltoallv(keySizes)
+			// Partial verification: pass boundary keys to the next rank.
+			r.Compute(800)
+			r.Send(next, isTagVerify, 8)
+			r.Recv(prev, isTagVerify)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mpipredict/internal/simmpi"
+	"mpipredict/internal/simnet"
+	"mpipredict/internal/trace"
+)
+
+// RunConfig bundles everything needed to simulate one workload instance.
+type RunConfig struct {
+	// Spec selects the workload, the process count and optionally an
+	// iteration override.
+	Spec Spec
+	// Net is the interconnect model; the zero value selects
+	// simnet.DefaultConfig (jitter and imbalance on).
+	Net simnet.Config
+	// Seed drives the simulation's stochastic elements.
+	Seed int64
+	// TraceAllReceivers records the streams of every rank. By default only
+	// the workload's typical receiver (the rank the paper's experiments
+	// trace) is recorded, which keeps memory bounded for the large runs.
+	TraceAllReceivers bool
+	// TraceReceivers records the streams of exactly these ranks. It
+	// overrides the default single-receiver behaviour; it is ignored when
+	// TraceAllReceivers is set.
+	TraceReceivers []int
+}
+
+// Run simulates the workload and returns its trace. The trace contains
+// logical and physical receive streams for the selected receivers.
+func Run(rc RunConfig) (*trace.Trace, error) {
+	if err := Validate(rc.Spec); err != nil {
+		return nil, err
+	}
+	program, err := Program(rc.Spec)
+	if err != nil {
+		return nil, err
+	}
+	net := rc.Net
+	if net == (simnet.Config{}) {
+		net = simnet.DefaultConfig()
+	}
+	receivers := rc.TraceReceivers
+	if rc.TraceAllReceivers {
+		receivers = nil
+	} else if len(receivers) == 0 {
+		recv, err := TypicalReceiver(rc.Spec.Name, rc.Spec.Procs)
+		if err != nil {
+			return nil, err
+		}
+		receivers = []int{recv}
+	}
+	cfg := simmpi.Config{
+		App:            rc.Spec.Name,
+		Procs:          rc.Spec.Procs,
+		Net:            net,
+		Seed:           rc.Seed,
+		TraceReceivers: receivers,
+	}
+	tr, err := simmpi.Run(cfg, program)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: running %s on %d procs: %w", rc.Spec.Name, rc.Spec.Procs, err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,202 @@
+// Package workloads provides communication skeletons of the five
+// applications the paper studies: NAS BT, CG, LU and IS (class A) and the
+// ASCI Sweep3D kernel.
+//
+// The paper only uses these codes as generators of MPI message streams —
+// the numerical results never matter. Each skeleton therefore reproduces
+// the *communication structure* of the original program (which partners a
+// rank talks to, in which order, how often, with which message sizes, and
+// which collective operations appear), calibrated so that the per-process
+// message counts, the number of distinct senders and the number of
+// distinct message sizes land close to Table 1 of the paper. The actual
+// computation is replaced by Compute phases whose durations provide the
+// load-imbalance component of the physical-level randomness.
+//
+// Every skeleton is deterministic at the logical level: the order of
+// receive completions per rank depends only on the program, never on the
+// network, which is the property the paper exploits.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"mpipredict/internal/simmpi"
+)
+
+// Spec selects one workload instance.
+type Spec struct {
+	// Name is one of the names returned by Names ("bt", "cg", "lu", "is",
+	// "sweep3d").
+	Name string
+	// Procs is the number of ranks. Each workload accepts the process
+	// counts used in the paper plus the natural generalisation of its
+	// decomposition (e.g. any perfect square for BT).
+	Procs int
+	// Iterations overrides the number of outer iterations (time steps).
+	// Zero selects the class-A-like default listed in Info. Small values
+	// keep unit tests fast; the experiments use the default.
+	Iterations int
+}
+
+// Info describes a workload in the catalog.
+type Info struct {
+	// Name is the registry key.
+	Name string
+	// PaperProcs are the process counts used in the paper's evaluation.
+	PaperProcs []int
+	// DefaultIterations is the class-A-like outer iteration count.
+	DefaultIterations int
+	// Description summarises the communication structure.
+	Description string
+}
+
+// builder constructs the rank program for a validated spec.
+type builder func(spec Spec) simmpi.Program
+
+type entry struct {
+	info       Info
+	validProcs func(p int) error
+	build      builder
+	receiver   func(procs int) int
+}
+
+var catalog = map[string]entry{}
+
+func register(e entry) {
+	if _, dup := catalog[e.info.Name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate registration of %q", e.info.Name))
+	}
+	catalog[e.info.Name] = e
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the catalog information for a workload.
+func Lookup(name string) (Info, error) {
+	e, ok := catalog[name]
+	if !ok {
+		return Info{}, fmt.Errorf("workloads: unknown workload %q (known: %v)", name, Names())
+	}
+	return e.info, nil
+}
+
+// Catalog returns information about every registered workload, sorted by
+// name.
+func Catalog() []Info {
+	out := make([]Info, 0, len(catalog))
+	for _, n := range Names() {
+		out = append(out, catalog[n].info)
+	}
+	return out
+}
+
+// Validate reports whether the spec names a known workload with an
+// acceptable process count and iteration override.
+func Validate(spec Spec) error {
+	e, ok := catalog[spec.Name]
+	if !ok {
+		return fmt.Errorf("workloads: unknown workload %q (known: %v)", spec.Name, Names())
+	}
+	if spec.Iterations < 0 {
+		return fmt.Errorf("workloads: Iterations must be >= 0, got %d", spec.Iterations)
+	}
+	return e.validProcs(spec.Procs)
+}
+
+// Program builds the rank program for the spec.
+func Program(spec Spec) (simmpi.Program, error) {
+	if err := Validate(spec); err != nil {
+		return nil, err
+	}
+	e := catalog[spec.Name]
+	if spec.Iterations == 0 {
+		spec.Iterations = e.info.DefaultIterations
+	}
+	return e.build(spec), nil
+}
+
+// Iterations resolves the effective iteration count of a spec (applying
+// the default when the override is zero).
+func Iterations(spec Spec) (int, error) {
+	if err := Validate(spec); err != nil {
+		return 0, err
+	}
+	if spec.Iterations != 0 {
+		return spec.Iterations, nil
+	}
+	return catalog[spec.Name].info.DefaultIterations, nil
+}
+
+// TypicalReceiver returns the rank whose message stream the experiments
+// trace for a given workload and process count. The paper traces "a
+// particular process" (process 3 for BT); for the other codes we pick a
+// rank whose neighbour count matches the per-process message counts
+// reported in Table 1 (for example an edge rank for LU).
+func TypicalReceiver(name string, procs int) (int, error) {
+	e, ok := catalog[name]
+	if !ok {
+		return 0, fmt.Errorf("workloads: unknown workload %q (known: %v)", name, Names())
+	}
+	if err := e.validProcs(procs); err != nil {
+		return 0, err
+	}
+	return e.receiver(procs), nil
+}
+
+// PaperSpecs returns one Spec per (workload, process count) pair evaluated
+// in the paper, in the order of Table 1.
+func PaperSpecs() []Spec {
+	var out []Spec
+	for _, name := range []string{"bt", "cg", "lu", "is", "sweep3d"} {
+		info := catalog[name].info
+		for _, p := range info.PaperProcs {
+			out = append(out, Spec{Name: name, Procs: p})
+		}
+	}
+	return out
+}
+
+// --- shared helpers ---
+
+// isPerfectSquare reports whether p = q*q and returns q.
+func isPerfectSquare(p int) (int, bool) {
+	for q := 1; q*q <= p; q++ {
+		if q*q == p {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
+// isPowerOfTwo reports whether p is a power of two.
+func isPowerOfTwo(p int) bool { return p > 0 && p&(p-1) == 0 }
+
+// grid2D returns a near-square 2D factorisation (rows x cols) of p with
+// rows >= cols, matching the decompositions the NAS codes use.
+func grid2D(p int) (rows, cols int) {
+	cols = 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			cols = d
+		}
+	}
+	return p / cols, cols
+}
+
+// log2Ceil returns ceil(log2(p)) for p >= 1.
+func log2Ceil(p int) int {
+	n := 0
+	for v := 1; v < p; v <<= 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,563 @@
+package workloads
+
+import (
+	"testing"
+
+	"mpipredict/internal/core"
+	"mpipredict/internal/simnet"
+	"mpipredict/internal/trace"
+)
+
+func TestCatalogAndNames(t *testing.T) {
+	names := Names()
+	want := []string{"bt", "cg", "is", "lu", "sweep3d"}
+	if len(names) != len(want) {
+		t.Fatalf("names=%v want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names=%v want %v", names, want)
+		}
+	}
+	cat := Catalog()
+	if len(cat) != len(want) {
+		t.Fatalf("catalog has %d entries", len(cat))
+	}
+	for _, info := range cat {
+		if info.DefaultIterations <= 0 {
+			t.Errorf("%s has no default iterations", info.Name)
+		}
+		if len(info.PaperProcs) == 0 {
+			t.Errorf("%s has no paper process counts", info.Name)
+		}
+		if info.Description == "" {
+			t.Errorf("%s has no description", info.Name)
+		}
+	}
+	if _, err := Lookup("bt"); err != nil {
+		t.Errorf("Lookup(bt): %v", err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown workload should fail")
+	}
+}
+
+func TestValidateSpecs(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Name: "bt", Procs: 4}, true},
+		{Spec{Name: "bt", Procs: 9}, true},
+		{Spec{Name: "bt", Procs: 25}, true},
+		{Spec{Name: "bt", Procs: 8}, false},
+		{Spec{Name: "bt", Procs: 1}, false},
+		{Spec{Name: "cg", Procs: 16}, true},
+		{Spec{Name: "cg", Procs: 12}, false},
+		{Spec{Name: "lu", Procs: 32}, true},
+		{Spec{Name: "lu", Procs: 2}, false},
+		{Spec{Name: "lu", Procs: 6}, false},
+		{Spec{Name: "is", Procs: 8}, true},
+		{Spec{Name: "is", Procs: 10}, false},
+		{Spec{Name: "sweep3d", Procs: 6}, true},
+		{Spec{Name: "sweep3d", Procs: 1}, false},
+		{Spec{Name: "unknown", Procs: 4}, false},
+		{Spec{Name: "bt", Procs: 4, Iterations: -1}, false},
+	}
+	for _, c := range cases {
+		err := Validate(c.spec)
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v)=%v want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestPaperSpecsCoverTable1(t *testing.T) {
+	specs := PaperSpecs()
+	if len(specs) != 19 {
+		t.Fatalf("Table 1 has 19 rows, got %d specs", len(specs))
+	}
+	for _, s := range specs {
+		if err := Validate(s); err != nil {
+			t.Errorf("paper spec %+v invalid: %v", s, err)
+		}
+	}
+}
+
+func TestIterationsResolution(t *testing.T) {
+	n, err := Iterations(Spec{Name: "bt", Procs: 4})
+	if err != nil || n != 200 {
+		t.Errorf("default bt iterations=%d,%v want 200", n, err)
+	}
+	n, err = Iterations(Spec{Name: "bt", Procs: 4, Iterations: 7})
+	if err != nil || n != 7 {
+		t.Errorf("override iterations=%d,%v want 7", n, err)
+	}
+	if _, err := Iterations(Spec{Name: "zz", Procs: 4}); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestTypicalReceiverInRange(t *testing.T) {
+	for _, s := range PaperSpecs() {
+		recv, err := TypicalReceiver(s.Name, s.Procs)
+		if err != nil {
+			t.Fatalf("TypicalReceiver(%s, %d): %v", s.Name, s.Procs, err)
+		}
+		if recv < 0 || recv >= s.Procs {
+			t.Errorf("TypicalReceiver(%s, %d)=%d out of range", s.Name, s.Procs, recv)
+		}
+	}
+	if _, err := TypicalReceiver("nope", 4); err != nil {
+		// expected
+	} else {
+		t.Error("unknown workload should fail")
+	}
+	if _, err := TypicalReceiver("bt", 5); err == nil {
+		t.Error("invalid proc count should fail")
+	}
+}
+
+func TestProgramUnknownWorkload(t *testing.T) {
+	if _, err := Program(Spec{Name: "nope", Procs: 4}); err == nil {
+		t.Error("Program should reject unknown workloads")
+	}
+}
+
+// runSmall simulates a workload with a reduced iteration count and
+// deterministic (noiseless) network so structural assertions are exact.
+func runSmall(t *testing.T, name string, procs, iters int, noiseless bool) *trace.Trace {
+	t.Helper()
+	net := simnet.DefaultConfig()
+	if noiseless {
+		net = simnet.NoiselessConfig()
+	}
+	tr, err := Run(RunConfig{
+		Spec: Spec{Name: name, Procs: procs, Iterations: iters},
+		Net:  net,
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("run %s.%d: %v", name, procs, err)
+	}
+	return tr
+}
+
+func TestBTStructure(t *testing.T) {
+	const iters = 12
+	tr := runSmall(t, "bt", 9, iters, true)
+	recv, _ := TypicalReceiver("bt", 9)
+	// With only 12 time steps the handful of setup/verification messages
+	// is not yet "rare", so use a slightly looser coverage than the
+	// Table 1 experiment (which runs the full 200 steps).
+	c := tr.Characterize(recv, trace.Logical, 0.95)
+	wantP2P := iters * 18 // 6q with q=3: the period of Figure 1
+	if c.P2PMsgs != wantP2P {
+		t.Errorf("bt.9 p2p msgs=%d want %d", c.P2PMsgs, wantP2P)
+	}
+	if c.CollMsgs != 9 {
+		t.Errorf("bt.9 collective msgs=%d want 9", c.CollMsgs)
+	}
+	if c.MsgSizes < 3 || c.MsgSizes > 4 {
+		t.Errorf("bt.9 distinct frequent sizes=%d want 3-4", c.MsgSizes)
+	}
+	if c.Senders < 5 || c.Senders > 7 {
+		t.Errorf("bt.9 distinct frequent senders=%d want 5-7", c.Senders)
+	}
+
+	// Figure 1: the per-time-step receive pattern of BT.9 has period 18.
+	senders := tr.SenderStream(recv, trace.Logical)
+	// Skip the 3 initial broadcasts so the stream starts at the steady state.
+	steady := senders[3 : 3+18*8]
+	period, ok := core.DetectPeriod(steady, core.DefaultConfig())
+	if !ok || period != 18 {
+		t.Errorf("bt.9 sender stream period=%d,%v want 18", period, ok)
+	}
+	sizes := tr.SizeStream(recv, trace.Logical)[3 : 3+18*8]
+	period, ok = core.DetectPeriod(sizes, core.DefaultConfig())
+	if !ok || period != 18 {
+		t.Errorf("bt.9 size stream period=%d,%v want 18", period, ok)
+	}
+}
+
+func TestBT4HasThreeSenders(t *testing.T) {
+	tr := runSmall(t, "bt", 4, 6, true)
+	recv, _ := TypicalReceiver("bt", 4)
+	c := tr.Characterize(recv, trace.Logical, 0.999)
+	if c.Senders != 3 {
+		t.Errorf("bt.4 senders=%d want 3 (all other ranks)", c.Senders)
+	}
+	if c.P2PMsgs != 6*12 {
+		t.Errorf("bt.4 p2p msgs=%d want %d (12 per step)", c.P2PMsgs, 6*12)
+	}
+}
+
+func TestCGStructure(t *testing.T) {
+	tr := runSmall(t, "cg", 4, 3, true) // 3 outer iterations
+	recv, _ := TypicalReceiver("cg", 4)
+	c := tr.Characterize(recv, trace.Logical, 0.999)
+	if c.CollMsgs != 0 {
+		t.Errorf("cg must use no collectives, got %d", c.CollMsgs)
+	}
+	// Per outer iteration: 26 inner * (1 vector + 1 transpose + 2 scalars).
+	wantPerOuter := 26 * 4
+	if c.P2PMsgs != 3*wantPerOuter {
+		t.Errorf("cg.4 p2p msgs=%d want %d", c.P2PMsgs, 3*wantPerOuter)
+	}
+	if c.MsgSizes != 2 {
+		t.Errorf("cg.4 distinct sizes=%d want 2", c.MsgSizes)
+	}
+	if c.Senders != 2 {
+		t.Errorf("cg.4 distinct senders=%d want 2", c.Senders)
+	}
+}
+
+func TestCGEightAndSixteenProcsSameShape(t *testing.T) {
+	// Table 1: CG.8 and CG.16 report the same per-process message count;
+	// the skeleton reproduces that because the traced rank's partner count
+	// (l2npcols) is the same for both decompositions.
+	tr8 := runSmall(t, "cg", 8, 2, true)
+	tr16 := runSmall(t, "cg", 16, 2, true)
+	r8, _ := TypicalReceiver("cg", 8)
+	r16, _ := TypicalReceiver("cg", 16)
+	c8 := tr8.Characterize(r8, trace.Logical, 0.999)
+	c16 := tr16.Characterize(r16, trace.Logical, 0.999)
+	if c8.P2PMsgs == 0 || c16.P2PMsgs == 0 {
+		t.Fatal("cg runs produced no messages")
+	}
+	diff := c8.P2PMsgs - c16.P2PMsgs
+	if diff < -60 || diff > 60 {
+		t.Errorf("cg.8 (%d msgs) and cg.16 (%d msgs) should have similar counts", c8.P2PMsgs, c16.P2PMsgs)
+	}
+}
+
+func TestLUStructure(t *testing.T) {
+	const iters = 4
+	tr := runSmall(t, "lu", 4, iters, true)
+	recv, _ := TypicalReceiver("lu", 4)
+	c := tr.Characterize(recv, trace.Logical, 0.999)
+	// Corner rank: 2 pencils per plane over one of the two sweeps plus 2
+	// face exchanges per iteration.
+	want := iters * (2*62 + 2)
+	if c.P2PMsgs != want {
+		t.Errorf("lu.4 p2p msgs=%d want %d", c.P2PMsgs, want)
+	}
+	if c.CollMsgs != 18 {
+		t.Errorf("lu.4 collective msgs=%d want 18", c.CollMsgs)
+	}
+	if c.AllSender != 2 {
+		t.Errorf("lu.4 distinct senders=%d want 2", c.AllSender)
+	}
+	if c.AllSizes < 2 || c.AllSizes > 5 {
+		t.Errorf("lu.4 distinct sizes=%d want a handful (2-5)", c.AllSizes)
+	}
+}
+
+func TestLU32EdgeRankSeesMoreTraffic(t *testing.T) {
+	tr := runSmall(t, "lu", 32, 2, true)
+	recv, _ := TypicalReceiver("lu", 32)
+	c := tr.Characterize(recv, trace.Logical, 0.999)
+	// Edge rank with three neighbours: 3 pencils per plane across the two
+	// sweeps plus 3 face exchanges.
+	want := 2 * (3*62 + 3)
+	if c.P2PMsgs != want {
+		t.Errorf("lu.32 p2p msgs=%d want %d", c.P2PMsgs, want)
+	}
+	if c.AllSender != 3 {
+		t.Errorf("lu.32 senders=%d want 3", c.AllSender)
+	}
+}
+
+func TestISStructure(t *testing.T) {
+	const iters = 11
+	tr := runSmall(t, "is", 4, iters, true)
+	recv, _ := TypicalReceiver("is", 4)
+	c := tr.Characterize(recv, trace.Logical, 0.999)
+	if c.P2PMsgs != iters {
+		t.Errorf("is.4 p2p msgs=%d want %d (one verification message per iteration)", c.P2PMsgs, iters)
+	}
+	wantColl := iters * (2*(4-1) + 2)
+	if c.CollMsgs != wantColl {
+		t.Errorf("is.4 collective msgs=%d want %d", c.CollMsgs, wantColl)
+	}
+	if c.MsgSizes != 3 {
+		t.Errorf("is.4 distinct frequent sizes=%d want 3", c.MsgSizes)
+	}
+	if c.AllSender != 3 {
+		t.Errorf("is.4 distinct senders=%d want 3 (every other rank)", c.AllSender)
+	}
+}
+
+func TestISCollectiveScalingWithProcs(t *testing.T) {
+	// Table 1: IS collective messages grow roughly as 2(p-1)+2 per
+	// iteration while the point-to-point count stays at 11.
+	for _, p := range []int{4, 8, 16} {
+		tr := runSmall(t, "is", p, 11, true)
+		recv, _ := TypicalReceiver("is", p)
+		c := tr.Characterize(recv, trace.Logical, 0.999)
+		want := 11 * (2*(p-1) + 2)
+		if c.CollMsgs != want {
+			t.Errorf("is.%d collective msgs=%d want %d", p, c.CollMsgs, want)
+		}
+		if c.P2PMsgs != 11 {
+			t.Errorf("is.%d p2p msgs=%d want 11", p, c.P2PMsgs)
+		}
+	}
+}
+
+func TestSweep3DStructure(t *testing.T) {
+	const iters = 3
+	tr := runSmall(t, "sweep3d", 16, iters, true)
+	recv, _ := TypicalReceiver("sweep3d", 16)
+	c := tr.Characterize(recv, trace.Logical, 0.999)
+	want := iters * 8 * sweepBlocks(16)
+	if c.P2PMsgs != want {
+		t.Errorf("sweep3d.16 p2p msgs=%d want %d", c.P2PMsgs, want)
+	}
+	if c.CollMsgs != iters*3 {
+		t.Errorf("sweep3d.16 collective msgs=%d want %d", c.CollMsgs, iters*3)
+	}
+	if c.AllSender != 2 {
+		t.Errorf("sweep3d.16 senders=%d want 2 (corner rank)", c.AllSender)
+	}
+	if c.MsgSizes < 2 || c.MsgSizes > 3 {
+		t.Errorf("sweep3d.16 frequent sizes=%d want 2-3", c.MsgSizes)
+	}
+}
+
+func TestSweep3DSixProcsDeeperPipeline(t *testing.T) {
+	tr := runSmall(t, "sweep3d", 6, 2, true)
+	recv, _ := TypicalReceiver("sweep3d", 6)
+	c := tr.Characterize(recv, trace.Logical, 0.999)
+	want := 2 * 8 * sweepBlocks(6)
+	if c.P2PMsgs != want {
+		t.Errorf("sweep3d.6 p2p msgs=%d want %d", c.P2PMsgs, want)
+	}
+	if sweepBlocks(6) <= sweepBlocks(16) {
+		t.Error("the 6-process configuration should use a deeper pipeline than the 16-process one")
+	}
+}
+
+func TestLogicalStreamsDeterministicAcrossSeedsAndNoise(t *testing.T) {
+	// The logical stream is a function of the application only: changing
+	// the seed or the noise level must not change it. This is the property
+	// that makes logical-level prediction nearly perfect in the paper.
+	for _, name := range []string{"bt", "cg", "lu", "is", "sweep3d"} {
+		procs := Catalog()[0].PaperProcs[0]
+		switch name {
+		case "bt":
+			procs = 4
+		case "cg", "lu", "is":
+			procs = 4
+		case "sweep3d":
+			procs = 6
+		}
+		iters := 3
+		recv, _ := TypicalReceiver(name, procs)
+		base, err := Run(RunConfig{Spec: Spec{Name: name, Procs: procs, Iterations: iters}, Net: simnet.NoiselessConfig(), Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		noisy, err := Run(RunConfig{Spec: Spec{Name: name, Procs: procs, Iterations: iters}, Net: simnet.DefaultConfig(), Seed: 99})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		a := base.SenderStream(recv, trace.Logical)
+		b := noisy.SenderStream(recv, trace.Logical)
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("%s: logical stream lengths differ (%d vs %d)", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: logical sender stream differs at %d under noise (%d vs %d)", name, i, a[i], b[i])
+			}
+		}
+		sa := base.SizeStream(recv, trace.Logical)
+		sb := noisy.SizeStream(recv, trace.Logical)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("%s: logical size stream differs at %d under noise", name, i)
+			}
+		}
+	}
+}
+
+func TestPhysicalStreamPreservesMultiset(t *testing.T) {
+	for _, name := range []string{"bt", "is"} {
+		procs := 4
+		recv, _ := TypicalReceiver(name, procs)
+		tr := runSmall(t, name, procs, 4, false)
+		logical := tr.SenderStream(recv, trace.Logical)
+		physical := tr.SenderStream(recv, trace.Physical)
+		if len(logical) != len(physical) {
+			t.Fatalf("%s: stream lengths differ: %d vs %d", name, len(logical), len(physical))
+		}
+		countL := map[int64]int{}
+		countP := map[int64]int{}
+		for i := range logical {
+			countL[logical[i]]++
+			countP[physical[i]]++
+		}
+		for k, v := range countL {
+			if countP[k] != v {
+				t.Errorf("%s: physical stream changed the sender multiset", name)
+				break
+			}
+		}
+	}
+}
+
+func TestRunDefaultsToTypicalReceiverOnly(t *testing.T) {
+	tr, err := Run(RunConfig{Spec: Spec{Name: "bt", Procs: 4, Iterations: 2}, Net: simnet.NoiselessConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, _ := TypicalReceiver("bt", 4)
+	got := tr.Receivers()
+	if len(got) != 1 || got[0] != recv {
+		t.Errorf("default run should trace only rank %d, got %v", recv, got)
+	}
+}
+
+func TestRunAllReceivers(t *testing.T) {
+	tr, err := Run(RunConfig{
+		Spec:              Spec{Name: "cg", Procs: 4, Iterations: 1},
+		Net:               simnet.NoiselessConfig(),
+		TraceAllReceivers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Receivers()); got != 4 {
+		t.Errorf("all-receiver run should trace 4 ranks, got %d", got)
+	}
+}
+
+func TestRunExplicitReceivers(t *testing.T) {
+	tr, err := Run(RunConfig{
+		Spec:           Spec{Name: "is", Procs: 4, Iterations: 2},
+		Net:            simnet.NoiselessConfig(),
+		TraceReceivers: []int{0, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Receivers()
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("explicit receivers wrong: %v", got)
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(RunConfig{Spec: Spec{Name: "bt", Procs: 7}}); err == nil {
+		t.Error("invalid spec should be rejected")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	cases := []struct{ p, rows, cols int }{
+		{6, 3, 2}, {16, 4, 4}, {32, 8, 4}, {4, 2, 2}, {2, 2, 1}, {7, 7, 1},
+	}
+	for _, c := range cases {
+		rows, cols := grid2D(c.p)
+		if rows != c.rows || cols != c.cols {
+			t.Errorf("grid2D(%d)=(%d,%d) want (%d,%d)", c.p, rows, cols, c.rows, c.cols)
+		}
+		if rows*cols != c.p {
+			t.Errorf("grid2D(%d) does not factor p", c.p)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if q, ok := isPerfectSquare(25); !ok || q != 5 {
+		t.Error("isPerfectSquare(25) wrong")
+	}
+	if _, ok := isPerfectSquare(7); ok {
+		t.Error("7 is not a perfect square")
+	}
+	if !isPowerOfTwo(16) || isPowerOfTwo(12) || isPowerOfTwo(0) {
+		t.Error("isPowerOfTwo wrong")
+	}
+	for p, want := range map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 32: 5} {
+		if got := log2Ceil(p); got != want {
+			t.Errorf("log2Ceil(%d)=%d want %d", p, got, want)
+		}
+	}
+}
+
+func TestCGLayouts(t *testing.T) {
+	cases := []struct{ p, rows, cols, l2 int }{
+		{4, 2, 2, 1}, {8, 2, 4, 2}, {16, 4, 4, 2}, {32, 4, 8, 3},
+	}
+	for _, c := range cases {
+		l := newCGLayout(c.p)
+		if l.rows != c.rows || l.cols != c.cols || l.l2npcols != c.l2 {
+			t.Errorf("newCGLayout(%d)=%+v want rows=%d cols=%d l2=%d", c.p, l, c.rows, c.cols, c.l2)
+		}
+		// Transpose partner must be symmetric: partner(partner(me)) == me.
+		for me := 0; me < c.p; me++ {
+			p1 := l.transposePartner(me)
+			if p1 < 0 || p1 >= c.p {
+				t.Fatalf("transposePartner(%d)=%d out of range for p=%d", me, p1, c.p)
+			}
+			if back := l.transposePartner(p1); back != me {
+				t.Errorf("p=%d transpose not symmetric: %d -> %d -> %d", c.p, me, p1, back)
+			}
+		}
+		// Reduce partners must be within the same processor row.
+		for me := 0; me < c.p; me++ {
+			for _, partner := range l.reducePartners(me) {
+				if partner/l.cols != me/l.cols {
+					t.Errorf("p=%d reduce partner %d of %d is in a different row", c.p, partner, me)
+				}
+			}
+		}
+	}
+}
+
+func TestBTNeighborsAndSizes(t *testing.T) {
+	// On the 3x3 grid every rank has six distinct neighbours.
+	for id := 0; id < 9; id++ {
+		e, w, s, n, dp, dm := btNeighbors(id, 3)
+		set := map[int]bool{e: true, w: true, s: true, n: true, dp: true, dm: true}
+		if len(set) != 6 {
+			t.Errorf("bt.9 rank %d has %d distinct neighbours, want 6", id, len(set))
+		}
+		if set[id] {
+			t.Errorf("bt.9 rank %d lists itself as a neighbour", id)
+		}
+	}
+	// On the 2x2 grid the six logical neighbours collapse onto the three
+	// other ranks.
+	e, w, s, n, dp, dm := btNeighbors(3, 2)
+	set := map[int]bool{e: true, w: true, s: true, n: true, dp: true, dm: true}
+	if len(set) != 3 {
+		t.Errorf("bt.4 rank 3 has %d distinct neighbours, want 3", len(set))
+	}
+	face, fwd, bwd := btSizes(3)
+	if face != 19440 || fwd != 3240 || bwd != 10240 {
+		t.Errorf("bt.9 sizes=(%d,%d,%d) want (19440,3240,10240) as in Figure 1b", face, fwd, bwd)
+	}
+	if f2, _, _ := btSizes(5); f2 >= face {
+		t.Error("face size should shrink as the grid grows")
+	}
+}
+
+func TestLULayoutNeighbors(t *testing.T) {
+	l := newLULayout(8)
+	if l.xdim != 4 || l.ydim != 2 {
+		t.Fatalf("lu layout for 8 procs = %+v want 4x2", l)
+	}
+	n, s, w, e := l.neighbors(0)
+	if n != -1 || w != -1 {
+		t.Error("rank 0 should have no north or west neighbour")
+	}
+	if s != 4 || e != 1 {
+		t.Errorf("rank 0 neighbours south=%d east=%d want 4,1", s, e)
+	}
+	n, s, w, e = l.neighbors(5)
+	if n != 1 || s != -1 || w != 4 || e != 6 {
+		t.Errorf("rank 5 neighbours=%d,%d,%d,%d want 1,-1,4,6", n, s, w, e)
+	}
+}

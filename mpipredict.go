@@ -1,0 +1,255 @@
+// Package mpipredict is the public facade of the reproduction of
+// "Exploring the Predictability of MPI Messages" (Freitag, Caubet,
+// Farrera, Cortes, Labarta — IPDPS 2003).
+//
+// The package wires together the building blocks that live under
+// internal/:
+//
+//   - the Dynamic Periodicity Detector based stream predictor (the paper's
+//     contribution) and the baseline predictors it is compared against,
+//   - a simulated MPI runtime with dual-level (logical / physical) receive
+//     tracing and communication skeletons of the five benchmarks the
+//     paper studies (NAS BT, CG, LU, IS and ASCI Sweep3D),
+//   - the evaluation harness that reproduces Table 1 and Figures 1-4, and
+//   - the three scalability mechanisms of Section 2 (prediction-driven
+//     buffer allocation, credit-based flow control and rendezvous
+//     elimination).
+//
+// A typical use looks like:
+//
+//	res, err := mpipredict.Evaluate(mpipredict.WorkloadSpec{Name: "bt", Procs: 9}, mpipredict.EvalOptions{})
+//	if err != nil { ... }
+//	fmt.Printf("logical +1 sender accuracy: %.1f%%\n",
+//	    100*res.Accuracy(mpipredict.SenderStream, mpipredict.Logical, 1))
+//
+// See the examples/ directory for runnable programs and cmd/mpipredict for
+// the experiment driver that regenerates every table and figure of the
+// paper.
+package mpipredict
+
+import (
+	"mpipredict/internal/core"
+	"mpipredict/internal/evalx"
+	"mpipredict/internal/predictor"
+	"mpipredict/internal/scalability"
+	"mpipredict/internal/simmpi"
+	"mpipredict/internal/simnet"
+	"mpipredict/internal/trace"
+	"mpipredict/internal/workloads"
+)
+
+// Core predictor types.
+type (
+	// PredictorConfig configures the DPD window geometry and locking
+	// policy.
+	PredictorConfig = core.Config
+	// StreamPredictor is the online DPD-based predictor for a single
+	// value stream (sender ranks or message sizes).
+	StreamPredictor = core.StreamPredictor
+	// Prediction is a single multi-step-ahead prediction.
+	Prediction = core.Prediction
+	// Predictor is the interface shared by the DPD and the baseline
+	// predictors.
+	Predictor = predictor.Predictor
+	// MessagePredictor couples a sender-stream and a size-stream
+	// predictor into per-message forecasts.
+	MessagePredictor = predictor.MessagePredictor
+	// MessageForecast is the joint (sender, size) forecast for one future
+	// message.
+	MessageForecast = predictor.MessageForecast
+)
+
+// Trace and simulation types.
+type (
+	// Trace is a recorded set of receive events at both instrumentation
+	// levels.
+	Trace = trace.Trace
+	// TraceRecord is one receive event.
+	TraceRecord = trace.Record
+	// Level distinguishes logical from physical instrumentation.
+	Level = trace.Level
+	// StreamKind selects the sender or the size stream.
+	StreamKind = evalx.StreamKind
+	// NetworkConfig parameterises the simulated interconnect.
+	NetworkConfig = simnet.Config
+	// RuntimeConfig configures a raw simulated MPI run.
+	RuntimeConfig = simmpi.Config
+	// Rank is the per-process handle available to simulated MPI programs.
+	Rank = simmpi.Rank
+	// Program is a simulated SPMD rank program.
+	Program = simmpi.Program
+	// WorkloadSpec selects one benchmark instance (name, process count,
+	// optional iteration override).
+	WorkloadSpec = workloads.Spec
+	// WorkloadInfo describes one benchmark skeleton.
+	WorkloadInfo = workloads.Info
+)
+
+// Evaluation types.
+type (
+	// EvalOptions controls a prediction experiment.
+	EvalOptions = evalx.Options
+	// EvalResult is the outcome of one prediction experiment.
+	EvalResult = evalx.Result
+	// StreamAccuracy holds per-horizon accuracies for one stream.
+	StreamAccuracy = evalx.StreamAccuracy
+	// Table1Row is one row of the reproduced Table 1.
+	Table1Row = evalx.Table1Row
+	// FigureResult is the data behind Figure 3 or Figure 4.
+	FigureResult = evalx.FigureResult
+	// Figure1Result is the data behind Figure 1.
+	Figure1Result = evalx.Figure1Result
+	// Figure2Result is the data behind Figure 2.
+	Figure2Result = evalx.Figure2Result
+)
+
+// Scalability types.
+type (
+	// BufferConfig configures prediction-driven buffer allocation.
+	BufferConfig = scalability.BufferConfig
+	// BufferStats is the outcome of a buffer-allocation replay.
+	BufferStats = scalability.BufferStats
+	// CreditConfig configures credit-based flow control.
+	CreditConfig = scalability.CreditConfig
+	// CreditStats is the outcome of a flow-control replay.
+	CreditStats = scalability.CreditStats
+	// ProtocolConfig configures the rendezvous-elimination advisor.
+	ProtocolConfig = scalability.ProtocolConfig
+	// ProtocolStats is the outcome of a protocol replay.
+	ProtocolStats = scalability.ProtocolStats
+)
+
+// Instrumentation levels and stream kinds.
+const (
+	// Logical is the order in which application-level receives complete.
+	Logical = trace.Logical
+	// Physical is the order in which messages arrive at the receiver.
+	Physical = trace.Physical
+	// SenderStream selects the stream of sending ranks.
+	SenderStream = evalx.SenderStream
+	// SizeStream selects the stream of message sizes.
+	SizeStream = evalx.SizeStream
+)
+
+// DefaultPredictorConfig returns the DPD configuration used throughout the
+// paper reproduction.
+func DefaultPredictorConfig() PredictorConfig { return core.DefaultConfig() }
+
+// DefaultNetworkConfig returns the interconnect model used by the
+// experiments (noise on).
+func DefaultNetworkConfig() NetworkConfig { return simnet.DefaultConfig() }
+
+// NoiselessNetworkConfig returns the interconnect model with all noise
+// terms disabled; logical and physical streams then describe the same
+// deterministic behaviour.
+func NoiselessNetworkConfig() NetworkConfig { return simnet.NoiselessConfig() }
+
+// NewPredictor returns the paper's DPD-based stream predictor.
+func NewPredictor(cfg PredictorConfig) *StreamPredictor {
+	return core.NewStreamPredictor(cfg)
+}
+
+// NewBaselinePredictor returns one of the registered predictors by name
+// ("dpd", "last-value", "markov1", "markov2", "cycle", "successor",
+// "most-frequent").
+func NewBaselinePredictor(name string) (Predictor, error) { return predictor.New(name) }
+
+// BaselinePredictors lists the registered predictor names.
+func BaselinePredictors() []string { return predictor.Names() }
+
+// NewMessagePredictor returns a DPD-based joint (sender, size) forecaster.
+func NewMessagePredictor(cfg PredictorConfig) *MessagePredictor {
+	return predictor.NewDPDMessagePredictor(cfg)
+}
+
+// Workloads lists the available benchmark skeletons.
+func Workloads() []WorkloadInfo { return workloads.Catalog() }
+
+// PaperWorkloads returns one spec per (benchmark, process count) pair
+// evaluated in the paper, in Table 1 order.
+func PaperWorkloads() []WorkloadSpec { return workloads.PaperSpecs() }
+
+// TypicalReceiver returns the rank whose streams the experiments trace for
+// a workload.
+func TypicalReceiver(name string, procs int) (int, error) {
+	return workloads.TypicalReceiver(name, procs)
+}
+
+// RunWorkload simulates a benchmark and returns its dual-level trace for
+// the typical receiver.
+func RunWorkload(spec WorkloadSpec, net NetworkConfig, seed int64) (*Trace, error) {
+	return workloads.Run(workloads.RunConfig{Spec: spec, Net: net, Seed: seed})
+}
+
+// RunWorkloadAllReceivers simulates a benchmark recording every rank's
+// streams.
+func RunWorkloadAllReceivers(spec WorkloadSpec, net NetworkConfig, seed int64) (*Trace, error) {
+	return workloads.Run(workloads.RunConfig{Spec: spec, Net: net, Seed: seed, TraceAllReceivers: true})
+}
+
+// RunProgram executes a hand-written SPMD program on the simulated MPI
+// runtime and returns its trace.
+func RunProgram(cfg RuntimeConfig, program Program) (*Trace, error) {
+	return simmpi.Run(cfg, program)
+}
+
+// Evaluate runs one prediction experiment (simulate the workload, predict
+// the traced receiver's sender and size streams at both levels).
+func Evaluate(spec WorkloadSpec, opts EvalOptions) (EvalResult, error) {
+	return evalx.RunExperiment(spec, opts)
+}
+
+// EvaluateTrace evaluates prediction accuracy on an existing trace.
+func EvaluateTrace(tr *Trace, receiver int, opts EvalOptions) (EvalResult, error) {
+	return evalx.EvaluateTrace(tr, receiver, opts)
+}
+
+// Table1 reproduces Table 1 of the paper.
+func Table1(opts EvalOptions) ([]Table1Row, error) { return evalx.Table1(opts) }
+
+// Figure1 reproduces Figure 1 (the BT.9 iterative pattern).
+func Figure1(opts EvalOptions) (Figure1Result, error) { return evalx.Figure1(opts) }
+
+// Figure2 reproduces Figure 2 (logical vs physical sender stream of BT.4).
+func Figure2(opts EvalOptions) (Figure2Result, error) { return evalx.Figure2(opts) }
+
+// Figures34 reproduces Figures 3 and 4 (logical and physical prediction
+// accuracy across every benchmark and process count) from a single sweep.
+func Figures34(opts EvalOptions) (logical, physical FigureResult, err error) {
+	results, err := evalx.SweepAll(opts)
+	if err != nil {
+		return FigureResult{}, FigureResult{}, err
+	}
+	logical, physical = evalx.FiguresFromResults(opts, results)
+	return logical, physical, nil
+}
+
+// SaveTrace and LoadTrace persist traces as JSON lines.
+func SaveTrace(path string, tr *Trace) error { return trace.SaveFile(path, tr) }
+
+// LoadTrace reads a trace previously written with SaveTrace.
+func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }
+
+// ReplayBuffers replays a trace through the Section 2.1 prediction-driven
+// buffer manager.
+func ReplayBuffers(tr *Trace, receiver int, cfg BufferConfig) (BufferStats, error) {
+	return scalability.ReplayBuffers(tr, receiver, cfg)
+}
+
+// ReplayCredits replays a trace through the Section 2.2 credit-based flow
+// control.
+func ReplayCredits(tr *Trace, receiver int, eagerBytes int64, cfg CreditConfig) (CreditStats, error) {
+	return scalability.ReplayCredits(tr, receiver, eagerBytes, cfg)
+}
+
+// ReplayProtocol replays a trace through the Section 2.3 rendezvous
+// elimination advisor.
+func ReplayProtocol(tr *Trace, receiver int, cfg ProtocolConfig) (ProtocolStats, error) {
+	return scalability.ReplayProtocol(tr, receiver, cfg)
+}
+
+// StaticBufferMemory returns the per-process memory of the conventional
+// one-buffer-per-peer scheme (Section 2.1's 16 KB x N argument).
+func StaticBufferMemory(procs int, perPeerBytes int64) int64 {
+	return scalability.StaticBufferMemory(procs, perPeerBytes)
+}

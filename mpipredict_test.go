@@ -1,0 +1,140 @@
+package mpipredict
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadePredictors(t *testing.T) {
+	p := NewPredictor(DefaultPredictorConfig())
+	for i := 0; i < 60; i++ {
+		p.Observe(int64(i % 3))
+	}
+	if v, ok := p.Predict(1); !ok || v != 0 {
+		t.Errorf("facade predictor Predict(1)=%d,%v want 0,true", v, ok)
+	}
+	names := BaselinePredictors()
+	if len(names) < 5 {
+		t.Errorf("expected several baseline predictors, got %v", names)
+	}
+	for _, n := range names {
+		if _, err := NewBaselinePredictor(n); err != nil {
+			t.Errorf("NewBaselinePredictor(%q): %v", n, err)
+		}
+	}
+	if _, err := NewBaselinePredictor("bogus"); err == nil {
+		t.Error("unknown baseline should fail")
+	}
+	mp := NewMessagePredictor(DefaultPredictorConfig())
+	for i := 0; i < 100; i++ {
+		mp.Observe(1+i%2, int64(100*(1+i%2)))
+	}
+	fc := mp.Forecast(2)
+	if !fc[0].OK || !fc[1].OK {
+		t.Errorf("message forecast should be available: %+v", fc)
+	}
+}
+
+func TestFacadeWorkloadsAndEvaluation(t *testing.T) {
+	if len(Workloads()) != 5 {
+		t.Fatalf("expected 5 workloads, got %d", len(Workloads()))
+	}
+	if len(PaperWorkloads()) != 19 {
+		t.Fatalf("expected the 19 paper configurations, got %d", len(PaperWorkloads()))
+	}
+	recv, err := TypicalReceiver("bt", 9)
+	if err != nil || recv != 3 {
+		t.Errorf("TypicalReceiver(bt,9)=%d,%v want 3 (the paper traces process 3)", recv, err)
+	}
+
+	spec := WorkloadSpec{Name: "bt", Procs: 4, Iterations: 15}
+	tr, err := RunWorkload(spec, DefaultNetworkConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("workload trace is empty")
+	}
+	res, err := EvaluateTrace(tr, 3, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy(SenderStream, Logical, 1) < 0.7 {
+		t.Errorf("logical accuracy too low: %.3f", res.Accuracy(SenderStream, Logical, 1))
+	}
+
+	res2, err := Evaluate(spec, EvalOptions{Iterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.App != "bt" || res2.Procs != 4 {
+		t.Errorf("metadata wrong: %+v", res2)
+	}
+}
+
+func TestFacadeRunProgramAndTraceIO(t *testing.T) {
+	cfg := RuntimeConfig{App: "facade", Procs: 2, Net: NoiselessNetworkConfig()}
+	tr, err := RunProgram(cfg, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 0, 128)
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := SaveTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != tr.Len() {
+		t.Errorf("round-trip changed record count: %d vs %d", loaded.Len(), tr.Len())
+	}
+}
+
+func TestFacadeScalabilityReplay(t *testing.T) {
+	tr, err := RunWorkload(WorkloadSpec{Name: "bt", Procs: 4, Iterations: 25}, DefaultNetworkConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, _ := TypicalReceiver("bt", 4)
+	buf, err := ReplayBuffers(tr, recv, BufferConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Messages == 0 {
+		t.Error("buffer replay processed no messages")
+	}
+	cred, err := ReplayCredits(tr, recv, 0, CreditConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.Messages != buf.Messages {
+		t.Error("credit replay should process the same messages")
+	}
+	prot, err := ReplayProtocol(tr, recv, ProtocolConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.BaselineLatencyUS <= 0 {
+		t.Error("protocol replay should accumulate latency")
+	}
+	if StaticBufferMemory(10000, 16*1024) != int64(9999)*16*1024 {
+		t.Error("StaticBufferMemory wrong")
+	}
+}
+
+func TestFacadeFigure1SmallRun(t *testing.T) {
+	fig, err := Figure1(EvalOptions{Net: NoiselessNetworkConfig(), Iterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.SenderPeriod != 18 || fig.SizePeriod != 18 {
+		t.Errorf("Figure 1 periods=%d/%d want 18/18", fig.SenderPeriod, fig.SizePeriod)
+	}
+}
