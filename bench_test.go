@@ -12,14 +12,29 @@ package mpipredict
 import (
 	"testing"
 
+	"mpipredict/internal/benchdefs"
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/predictor"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/workloads"
 )
 
+// benchOpts selects the default experiment configuration: the parallel
+// runner (Parallelism 0 = GOMAXPROCS) over the shared trace cache, so one
+// `go test -bench .` run simulates each (workload, procs, seed) cell once
+// and every table/figure that needs it reuses the trace. The reproduced
+// numbers are identical to the serial, uncached path — see
+// BenchmarkFigure3LogicalColdSerial for the seed-equivalent configuration.
+// The option sets and metric computations live in internal/benchdefs,
+// shared with cmd/benchjson so the tracked trajectory cannot drift.
 func benchOpts() EvalOptions {
-	return EvalOptions{Net: DefaultNetworkConfig(), Seed: 1}
+	return benchdefs.Opts()
+}
+
+func reportMetrics(b *testing.B, metrics map[string]float64) {
+	for name, value := range metrics {
+		b.ReportMetric(value, name)
+	}
 }
 
 // BenchmarkTable1 regenerates Table 1: the per-process message
@@ -28,23 +43,11 @@ func benchOpts() EvalOptions {
 // against the paper's values.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := Table1(benchOpts())
+		m, err := benchdefs.Table1Metrics(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
-		var relErr float64
-		var n int
-		for _, r := range rows {
-			if r.PaperP2P > 0 {
-				diff := float64(r.P2PMsgs-r.PaperP2P) / float64(r.PaperP2P)
-				if diff < 0 {
-					diff = -diff
-				}
-				relErr += diff
-				n++
-			}
-		}
-		b.ReportMetric(relErr/float64(n), "p2p-relative-error")
+		reportMetrics(b, m)
 	}
 }
 
@@ -53,12 +56,11 @@ func BenchmarkTable1(b *testing.B) {
 // period (the paper reports 18).
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := Figure1(benchOpts())
+		m, err := benchdefs.Figure1Metrics(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(fig.SenderPeriod), "sender-period")
-		b.ReportMetric(float64(fig.SizePeriod), "size-period")
+		reportMetrics(b, m)
 	}
 }
 
@@ -67,11 +69,11 @@ func BenchmarkFigure1(b *testing.B) {
 // at which the physical arrival order deviates from the logical order.
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		fig, err := Figure2(benchOpts())
+		m, err := benchdefs.Figure2Metrics(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(fig.MismatchPercent, "reordered-%")
+		reportMetrics(b, m)
 	}
 }
 
@@ -80,13 +82,26 @@ func BenchmarkFigure2(b *testing.B) {
 // metrics are the mean and minimum accuracy across all cells.
 func BenchmarkFigure3Logical(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		logical, _, err := Figures34(benchOpts())
+		logical, _, err := benchdefs.Figures34(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(100*logical.MeanAccuracy("", SenderStream), "sender-mean-%")
-		b.ReportMetric(100*logical.MeanAccuracy("", SizeStream), "size-mean-%")
-		b.ReportMetric(100*logical.MinAccuracy("", SenderStream), "sender-min-%")
+		reportMetrics(b, benchdefs.Figure3LogicalMetrics(logical))
+	}
+}
+
+// BenchmarkFigure3LogicalColdSerial is BenchmarkFigure3Logical without the
+// parallel runner and without the trace cache: every iteration re-simulates
+// the full paper grid serially, like the seed implementation. The ratio
+// between this benchmark and BenchmarkFigure3Logical is the speedup the
+// concurrent experiment engine delivers.
+func BenchmarkFigure3LogicalColdSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logical, _, err := benchdefs.Figures34(benchdefs.ColdSerialOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetrics(b, benchdefs.Figure3LogicalMetrics(logical))
 	}
 }
 
@@ -96,13 +111,11 @@ func BenchmarkFigure3Logical(b *testing.B) {
 // (LU/CG/Sweep3D stay predictable, BT degrades, IS is the hardest).
 func BenchmarkFigure4Physical(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, physical, err := Figures34(benchOpts())
+		_, physical, err := benchdefs.Figures34(benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, app := range []string{"bt", "cg", "lu", "is", "sweep3d"} {
-			b.ReportMetric(100*physical.MeanAccuracy(app, SenderStream), app+"-sender-%")
-		}
+		reportMetrics(b, benchdefs.Figure4PhysicalMetrics(physical))
 	}
 }
 
@@ -128,7 +141,7 @@ func BenchmarkSetAccuracy(b *testing.B) {
 // trace, plus the static memory a 10 000-process job would need (MiB).
 func BenchmarkMemoryReduction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tr, err := RunWorkload(WorkloadSpec{Name: "bt", Procs: 25}, DefaultNetworkConfig(), 1)
+		tr, err := RunWorkloadCached(WorkloadSpec{Name: "bt", Procs: 25}, DefaultNetworkConfig(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +165,7 @@ func BenchmarkControlFlow(b *testing.B) {
 	specs := []WorkloadSpec{{Name: "bt", Procs: 25}, {Name: "is", Procs: 32}}
 	for i := 0; i < b.N; i++ {
 		for _, spec := range specs {
-			tr, err := RunWorkload(spec, DefaultNetworkConfig(), 1)
+			tr, err := RunWorkloadCached(spec, DefaultNetworkConfig(), 1)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -175,7 +188,7 @@ func BenchmarkRendezvousElimination(b *testing.B) {
 	specs := []WorkloadSpec{{Name: "bt", Procs: 4}, {Name: "cg", Procs: 8}}
 	for i := 0; i < b.N; i++ {
 		for _, spec := range specs {
-			tr, err := RunWorkload(spec, DefaultNetworkConfig(), 1)
+			tr, err := RunWorkloadCached(spec, DefaultNetworkConfig(), 1)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -199,7 +212,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 	spec := workloads.Spec{Name: "bt", Procs: 9}
 	recv, _ := workloads.TypicalReceiver(spec.Name, spec.Procs)
 	for i := 0; i < b.N; i++ {
-		tr, err := RunWorkload(spec, DefaultNetworkConfig(), 1)
+		tr, err := RunWorkloadCached(spec, DefaultNetworkConfig(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,7 +237,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 func BenchmarkAblationLockPolicy(b *testing.B) {
 	spec := workloads.Spec{Name: "bt", Procs: 9}
 	recv, _ := workloads.TypicalReceiver(spec.Name, spec.Procs)
-	tr, err := RunWorkload(spec, DefaultNetworkConfig(), 1)
+	tr, err := RunWorkloadCached(spec, DefaultNetworkConfig(), 1)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,220 @@
+// Command benchjson runs the repository's headline benchmarks through
+// testing.Benchmark and writes the results — ns/op, allocations and the
+// reproduced paper metrics — to a JSON file, so the performance trajectory
+// of the project can be tracked across PRs by committing one snapshot per
+// change.
+//
+// Usage:
+//
+//	benchjson                 # writes BENCH_<n>.json (next free n) in the cwd
+//	benchjson -out bench.json # explicit output path
+//	benchjson -run 'figure3'  # only benchmarks whose name matches the regexp
+//	benchjson -list           # print benchmark names and exit
+//
+// The cached benchmarks are warmed first (one full sweep populates the
+// shared trace cache), so their numbers report the steady-state cost of
+// regenerating a table or figure; the *-cold-serial entries measure the
+// uncached, single-worker pipeline for comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"mpipredict/internal/benchdefs"
+)
+
+// entry is one named benchmark.
+type entry struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// result is the JSON record for one benchmark.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// snapshot is the file layout.
+type snapshot struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Results     []result `json:"results"`
+}
+
+func reportMetrics(b *testing.B, metrics map[string]float64) {
+	for name, value := range metrics {
+		b.ReportMetric(value, name)
+	}
+}
+
+// benchmarks mirrors the headline entries of the root bench_test.go; both
+// draw their option sets and metric computations from internal/benchdefs,
+// so the JSON snapshots always measure what `go test -bench .` measures.
+func benchmarks() []entry {
+	return []entry{
+		{"table1", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := benchdefs.Table1Metrics(benchdefs.Opts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportMetrics(b, m)
+			}
+		}},
+		{"figure1", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := benchdefs.Figure1Metrics(benchdefs.Opts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportMetrics(b, m)
+			}
+		}},
+		{"figure2", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := benchdefs.Figure2Metrics(benchdefs.Opts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportMetrics(b, m)
+			}
+		}},
+		{"figures34", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				logical, physical, err := benchdefs.Figures34(benchdefs.Opts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportMetrics(b, benchdefs.Figure3LogicalMetrics(logical))
+				reportMetrics(b, benchdefs.Figure4PhysicalMetrics(physical))
+			}
+		}},
+		{"figure3-cold-serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				logical, _, err := benchdefs.Figures34(benchdefs.ColdSerialOpts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportMetrics(b, benchdefs.Figure3LogicalMetrics(logical))
+			}
+		}},
+	}
+}
+
+func nextFreePath() string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+func main() {
+	out := flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
+	pattern := flag.String("run", "", "only run benchmarks whose name matches this regexp")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	all := benchmarks()
+	if *list {
+		for _, e := range all {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+
+	var re *regexp.Regexp
+	if *pattern != "" {
+		var err error
+		re, err = regexp.Compile(*pattern)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -run pattern:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Warm the shared trace cache so the cached benchmarks report their
+	// steady-state cost rather than a blend of first-run simulation and
+	// cache hits. Skipped when the -run filter selects only the cold
+	// benchmark (or nothing), which would gain nothing from a warm cache.
+	warmNeeded := false
+	for _, e := range all {
+		if re != nil && !re.MatchString(e.Name) {
+			continue
+		}
+		if e.Name != "figure3-cold-serial" {
+			warmNeeded = true
+			break
+		}
+	}
+	if warmNeeded {
+		if _, _, err := benchdefs.Figures34(benchdefs.Opts()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: cache warm-up failed:", err)
+			os.Exit(1)
+		}
+	}
+
+	snap := snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, e := range all {
+		if re != nil && !re.MatchString(e.Name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", e.Name)
+		r := testing.Benchmark(e.Fn)
+		res := result{
+			Name:        e.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		snap.Results = append(snap.Results, res)
+	}
+	sort.Slice(snap.Results, func(i, j int) bool { return snap.Results[i].Name < snap.Results[j].Name })
+
+	path := *out
+	if path == "" {
+		path = nextFreePath()
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); filepath.Dir(path) != "." && err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+}

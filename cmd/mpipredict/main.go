@@ -6,7 +6,7 @@
 //
 //	mpipredict -experiment all
 //	mpipredict -experiment table1
-//	mpipredict -experiment figure3 -seed 7
+//	mpipredict -experiment figure3 -seed 7 -parallel 8
 //	mpipredict -experiment figure1 -iterations 40 -noiseless
 //
 // Experiments: table1, figure1, figure2, figure3, figure4, all.
@@ -27,9 +27,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	iterations := flag.Int("iterations", 0, "override the per-workload iteration count (0 = class A defaults)")
 	noiseless := flag.Bool("noiseless", false, "disable network jitter and load imbalance")
+	parallel := flag.Int("parallel", 0, "max experiments evaluated concurrently (0 = GOMAXPROCS); results are identical for every setting")
+	nocache := flag.Bool("nocache", false, "re-simulate every workload instead of sharing traces between experiments")
 	flag.Parse()
 
-	opts := evalx.Options{Seed: *seed, Iterations: *iterations, Net: simnet.DefaultConfig()}
+	opts := evalx.Options{Seed: *seed, Iterations: *iterations, Net: simnet.DefaultConfig(), Parallelism: *parallel, NoCache: *nocache}
 	if *noiseless {
 		opts.Net = simnet.NoiselessConfig()
 	}

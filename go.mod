@@ -1,0 +1,3 @@
+module mpipredict
+
+go 1.24

@@ -1,0 +1,103 @@
+package core
+
+import "testing"
+
+// The microbenchmarks below pin the per-observation cost of the DPD hot
+// path. Run them with -benchmem: the steady-state observe and predict
+// paths must report 0 allocs/op (enforced by alloc_test.go), and ns/op
+// tracks the O(MaxLag) incremental update the paper's Section 4 design
+// calls for.
+
+func benchStream(n, period int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i % period)
+	}
+	return out
+}
+
+// BenchmarkDetectorObserveFullWindow measures the incremental mismatch
+// update once the window has wrapped, i.e. with the eviction half of the
+// update active (the existing BenchmarkDetectorObserve starts cold).
+func BenchmarkDetectorObserveFullWindow(b *testing.B) {
+	d := NewDetector(DefaultConfig())
+	stream := benchStream(4*d.Config().WindowSize, 18)
+	for _, x := range stream {
+		d.Observe(x)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Observe(stream[i%len(stream)])
+	}
+}
+
+// BenchmarkStreamPredictorObserveLocked measures the steady-state observe
+// path of a locked predictor: expectation check, outcome ring update and
+// detector feed.
+func BenchmarkStreamPredictorObserveLocked(b *testing.B) {
+	p := NewStreamPredictor(DefaultConfig())
+	stream := benchStream(4*p.cfg.WindowSize, 18)
+	for _, x := range stream {
+		p.Observe(x)
+	}
+	if p.State() != Locked {
+		b.Fatal("predictor should be locked after warm-up")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(stream[i%len(stream)])
+	}
+}
+
+// BenchmarkStreamPredictorPredict measures a single locked-pattern lookup.
+func BenchmarkStreamPredictorPredict(b *testing.B) {
+	p := NewStreamPredictor(DefaultConfig())
+	for _, x := range benchStream(4*p.cfg.WindowSize, 18) {
+		p.Observe(x)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Predict(i%5 + 1); !ok {
+			b.Fatal("locked predictor abstained")
+		}
+	}
+}
+
+// BenchmarkPredictSeriesInto measures the +1..+5 multi-step query with a
+// reused caller buffer — the per-message query shape of the scalability
+// replays.
+func BenchmarkPredictSeriesInto(b *testing.B) {
+	p := NewStreamPredictor(DefaultConfig())
+	for _, x := range benchStream(4*p.cfg.WindowSize, 18) {
+		p.Observe(x)
+	}
+	buf := make([]Prediction, 0, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = p.PredictSeriesInto(buf[:0], 5)
+	}
+	_ = buf
+}
+
+// BenchmarkLockRelock measures the lock path (window snapshot + consensus
+// vote), which the allocation-lean scratch buffers target: predictors on
+// noisy physical streams relock continually.
+func BenchmarkLockRelock(b *testing.B) {
+	p := NewStreamPredictor(DefaultConfig())
+	stream := benchStream(4*p.cfg.WindowSize, 18)
+	for _, x := range stream {
+		p.Observe(x)
+	}
+	if p.State() != Locked {
+		b.Fatal("predictor should be locked after warm-up")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.lock(18)
+	}
+}

@@ -50,6 +50,11 @@ func (d *Detector) Observed() int64 { return d.observed }
 // Window returns a copy of the current window contents, oldest first.
 func (d *Detector) Window() []int64 { return d.win.Snapshot() }
 
+// WindowInto appends the current window contents to dst, oldest first, and
+// returns it. It lets callers that snapshot repeatedly (the predictor's
+// lock path) reuse one buffer.
+func (d *Detector) WindowInto(dst []int64) []int64 { return d.win.AppendTo(dst) }
+
 // Reset discards all state, returning the detector to its initial
 // condition without reallocating.
 func (d *Detector) Reset() {
@@ -196,12 +201,17 @@ func (d *Detector) Predict(k int) (int64, bool) {
 // PredictSeries predicts the next count future values. Predictions that
 // cannot be made (no period detected) are reported with OK == false.
 func (d *Detector) PredictSeries(count int) []Prediction {
-	out := make([]Prediction, 0, count)
+	return d.PredictSeriesInto(make([]Prediction, 0, count), count)
+}
+
+// PredictSeriesInto appends the next count predictions to dst and returns
+// it, allowing hot-path callers to reuse one buffer across queries.
+func (d *Detector) PredictSeriesInto(dst []Prediction, count int) []Prediction {
 	for k := 1; k <= count; k++ {
 		v, ok := d.Predict(k)
-		out = append(out, Prediction{Ahead: k, Value: v, OK: ok})
+		dst = append(dst, Prediction{Ahead: k, Value: v, OK: ok})
 	}
-	return out
+	return dst
 }
 
 // Prediction is a single multi-step-ahead prediction: the value expected

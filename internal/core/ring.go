@@ -59,11 +59,21 @@ func (r *ring) Last() (int64, bool) {
 
 // Snapshot copies the window contents, oldest first.
 func (r *ring) Snapshot() []int64 {
-	out := make([]int64, r.count)
-	for i := 0; i < r.count; i++ {
-		out[i] = r.At(i)
+	return r.AppendTo(make([]int64, 0, r.count))
+}
+
+// AppendTo appends the window contents to dst, oldest first, and returns
+// it. The two wrapped segments are copied with at most two copy calls.
+func (r *ring) AppendTo(dst []int64) []int64 {
+	if r.count == 0 {
+		return dst
 	}
-	return out
+	end := r.head + r.count
+	if end <= len(r.buf) {
+		return append(dst, r.buf[r.head:end]...)
+	}
+	dst = append(dst, r.buf[r.head:]...)
+	return append(dst, r.buf[:end-len(r.buf)]...)
 }
 
 // Reset discards all samples but keeps the allocated buffer.

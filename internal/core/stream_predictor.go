@@ -72,6 +72,13 @@ type StreamPredictor struct {
 	candidatePeriod int
 	candidateRuns   int
 
+	// scratchWin and scratchCounts are reused across lock events so that
+	// locking onto a pattern does not allocate a fresh window snapshot and
+	// one counting map per phase every time (predictors on noisy physical
+	// streams relock often).
+	scratchWin    []int64
+	scratchCounts map[int64]int
+
 	counters Counters
 }
 
@@ -79,11 +86,17 @@ type StreamPredictor struct {
 // (zero fields take defaults, see Config).
 func NewStreamPredictor(cfg Config) *StreamPredictor {
 	cfg = cfg.withDefaults()
-	return &StreamPredictor{
+	p := &StreamPredictor{
 		cfg:   cfg,
 		det:   NewDetector(cfg),
 		state: Learning,
 	}
+	// Allocate the hit/miss ring up front so the steady-state Observe
+	// path never allocates.
+	if cfg.RelearnWindow > 0 {
+		p.recent = make([]bool, cfg.RelearnWindow)
+	}
+	return p
 }
 
 // State returns the current lock state.
@@ -186,11 +199,15 @@ func (p *StreamPredictor) searchPeriod() (int, bool) {
 // window and switches to the Locked state. The next expected observation
 // is the one that follows the most recent window sample.
 func (p *StreamPredictor) lock(period int) {
-	win := p.det.Window()
+	p.scratchWin = p.det.WindowInto(p.scratchWin[:0])
+	win := p.scratchWin
 	if period <= 0 || len(win) < period {
 		return
 	}
-	p.pattern = consensusPattern(win, period)
+	if p.scratchCounts == nil {
+		p.scratchCounts = make(map[int64]int)
+	}
+	p.pattern = consensusPattern(win, period, p.scratchCounts)
 	// The window ends at x[t]; the next observation x[t+1] corresponds to
 	// pattern phase (len(win)) mod period when the pattern is anchored at
 	// the start of the window.
@@ -218,9 +235,6 @@ func (p *StreamPredictor) unlock() {
 func (p *StreamPredictor) recordOutcome(hit bool) {
 	if p.cfg.RelearnWindow <= 0 {
 		return
-	}
-	if p.recent == nil {
-		p.recent = make([]bool, p.cfg.RelearnWindow)
 	}
 	if p.recentCount == len(p.recent) {
 		if !p.recent[p.recentIdx] {
@@ -273,12 +287,20 @@ func (p *StreamPredictor) Predict(k int) (int64, bool) {
 
 // PredictSeries predicts the next count values, abstentions included.
 func (p *StreamPredictor) PredictSeries(count int) []Prediction {
-	out := make([]Prediction, 0, count)
+	return p.PredictSeriesInto(make([]Prediction, 0, count), count)
+}
+
+// PredictSeriesInto appends the next count predictions to dst and returns
+// it. Hot-path callers pass a reused buffer — typically dst[:0] of the
+// previous call — so steady-state multi-step queries perform no
+// allocations (see predictor.MessagePredictor.ForecastInto for the
+// equivalent message-level query the replay loops use).
+func (p *StreamPredictor) PredictSeriesInto(dst []Prediction, count int) []Prediction {
 	for k := 1; k <= count; k++ {
 		v, ok := p.Predict(k)
-		out = append(out, Prediction{Ahead: k, Value: v, OK: ok})
+		dst = append(dst, Prediction{Ahead: k, Value: v, OK: ok})
 	}
-	return out
+	return dst
 }
 
 // PredictSet returns the multiset of values expected over the next count
@@ -287,44 +309,53 @@ func (p *StreamPredictor) PredictSeries(count int) []Prediction {
 // senders (and which sizes) are coming next, not their exact order; this
 // is the query that application makes.
 func (p *StreamPredictor) PredictSet(count int) ([]int64, bool) {
-	preds := p.PredictSeries(count)
-	out := make([]int64, 0, count)
-	for _, pr := range preds {
-		if !pr.OK {
-			return nil, false
-		}
-		out = append(out, pr.Value)
+	out, ok := p.PredictSetInto(make([]int64, 0, count), count)
+	if !ok {
+		return nil, false
 	}
 	return out, true
+}
+
+// PredictSetInto appends the next-count value multiset to dst and returns
+// it, with ok == false when any of the underlying predictions abstains.
+// On abstention the (partially filled) buffer is still returned so a
+// caller that reuses it — dst[:0] of the previous call — keeps its
+// capacity across abstaining queries.
+func (p *StreamPredictor) PredictSetInto(dst []int64, count int) ([]int64, bool) {
+	for k := 1; k <= count; k++ {
+		v, ok := p.Predict(k)
+		if !ok {
+			return dst, false
+		}
+		dst = append(dst, v)
+	}
+	return dst, true
 }
 
 // consensusPattern builds a pattern of the given period from a window by
 // majority vote over all samples that share the same phase. With a clean
 // window this is exactly the last period of the window; with isolated
-// perturbations the majority of repetitions wins.
-func consensusPattern(win []int64, period int) []int64 {
+// perturbations the majority of repetitions wins. The scratch map is
+// cleared and reused for every phase, so one lock event costs zero map
+// allocations instead of one per phase; the walk visits each window sample
+// twice in total (O(len(win))) rather than once per phase.
+func consensusPattern(win []int64, period int, scratch map[int64]int) []int64 {
 	pattern := make([]int64, period)
-	counts := make([]map[int64]int, period)
-	for i := range counts {
-		counts[i] = make(map[int64]int)
-	}
-	// Anchor phases at the start of the window so that phase of win[i] is
-	// i mod period.
-	for i, v := range win {
-		counts[i%period][v]++
-	}
 	for ph := 0; ph < period; ph++ {
+		clear(scratch)
+		for i := ph; i < len(win); i += period {
+			scratch[win[i]]++
+		}
 		best := int64(0)
 		bestCount := -1
 		// Deterministic tie-break: prefer the value seen most recently in
-		// the window at this phase.
-		for i := len(win) - 1; i >= 0; i-- {
-			if i%period != ph {
-				continue
-			}
+		// the window at this phase. Walking newest-first and requiring a
+		// strictly greater count reproduces the seed implementation's
+		// choice exactly.
+		last := ph + ((len(win)-1-ph)/period)*period
+		for i := last; i >= 0; i -= period {
 			v := win[i]
-			c := counts[ph][v]
-			if c > bestCount {
+			if c := scratch[v]; c > bestCount {
 				best = v
 				bestCount = c
 			}

@@ -131,10 +131,14 @@ func SetAccuracy(stream []int64, factory PredictorFactory, window int) float64 {
 	p := factory()
 	var sum float64
 	var count int
+	// predicted is reused (cleared) across positions; allocating it once
+	// instead of once per observation keeps the scoring loop allocation
+	// free.
+	predicted := make(map[int64]int, window)
 	for i := range stream {
 		if i+window <= len(stream) {
 			count++
-			predicted := make(map[int64]int)
+			clear(predicted)
 			ok := true
 			for k := 1; k <= window; k++ {
 				v, o := p.Predict(k)

@@ -5,6 +5,7 @@ import (
 
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
 )
 
@@ -35,6 +36,16 @@ type Options struct {
 	// the class-A default). The figure experiments keep the default; the
 	// unit tests shrink it.
 	Iterations int
+	// Parallelism bounds the number of experiments evaluated concurrently
+	// by the sweep entry points (Table1, SweepAll, AccuracyFigure). Zero
+	// selects GOMAXPROCS; one reproduces the serial behaviour. Results
+	// are identical for every setting — only wall-clock time changes.
+	Parallelism int
+	// NoCache bypasses the shared trace cache, forcing every experiment
+	// to re-simulate its workload. Results are unaffected (simulations
+	// are deterministic); it exists for cold-path measurements and for
+	// tests that must exercise the full pipeline.
+	NoCache bool
 }
 
 func (o Options) withDefaults() Options {
@@ -74,12 +85,35 @@ type Result struct {
 	Reordering float64
 }
 
+// getTrace simulates a workload through the given cache, or directly when
+// cache is nil.
+func getTrace(rc workloads.RunConfig, cache *tracecache.Cache) (*trace.Trace, error) {
+	if cache == nil {
+		return workloads.Run(rc)
+	}
+	return cache.Get(rc)
+}
+
+// optsCache resolves the cache implied by the options alone: nil when
+// caching is disabled, the shared cache otherwise.
+func optsCache(opts Options) *tracecache.Cache {
+	if opts.NoCache {
+		return nil
+	}
+	return tracecache.Shared
+}
+
 // RunExperiment simulates one workload instance and evaluates prediction
 // accuracy on the streams of the workload's typical receiver (the rank the
 // paper traces). Callers that need a different receiver can run the
 // workload themselves and use EvaluateTrace.
 func RunExperiment(spec workloads.Spec, opts Options) (Result, error) {
-	opts = opts.withDefaults()
+	return runExperimentCached(spec, opts.withDefaults(), optsCache(opts))
+}
+
+// runExperimentCached is RunExperiment with an explicit trace source; the
+// parallel Runner passes its own cache.
+func runExperimentCached(spec workloads.Spec, opts Options, cache *tracecache.Cache) (Result, error) {
 	if err := workloads.Validate(spec); err != nil {
 		return Result{}, err
 	}
@@ -91,12 +125,12 @@ func RunExperiment(spec workloads.Spec, opts Options) (Result, error) {
 		return Result{}, err
 	}
 
-	tr, err := workloads.Run(workloads.RunConfig{
+	tr, err := getTrace(workloads.RunConfig{
 		Spec:           spec,
 		Net:            opts.Net,
 		Seed:           opts.Seed,
 		TraceReceivers: []int{receiver},
-	})
+	}, cache)
 	if err != nil {
 		return Result{}, err
 	}
@@ -115,18 +149,20 @@ func EvaluateTrace(tr *trace.Trace, receiver int, opts Options) (Result, error) 
 		Sender:           make(map[trace.Level]StreamAccuracy),
 		Size:             make(map[trace.Level]StreamAccuracy),
 	}
-	logicalSenders := tr.SenderStream(receiver, trace.Logical)
+	// The shared (read-only) stream views avoid copying each stream once
+	// per query; every consumer below only reads.
+	logicalSenders := tr.SenderStreamShared(receiver, trace.Logical)
 	if len(logicalSenders) == 0 {
 		return Result{}, fmt.Errorf("evalx: receiver %d has no logical records in trace %q", receiver, tr.App)
 	}
 	for _, level := range []trace.Level{trace.Logical, trace.Physical} {
-		res.Sender[level] = EvaluateStream(tr.SenderStream(receiver, level), opts.Predictor, opts.Horizons)
-		res.Size[level] = EvaluateStream(tr.SizeStream(receiver, level), opts.Predictor, opts.Horizons)
+		res.Sender[level] = EvaluateStream(tr.SenderStreamShared(receiver, level), opts.Predictor, opts.Horizons)
+		res.Size[level] = EvaluateStream(tr.SizeStreamShared(receiver, level), opts.Predictor, opts.Horizons)
 	}
-	res.SenderSetAccuracy = SetAccuracy(tr.SenderStream(receiver, trace.Physical), opts.Predictor, opts.Horizons)
+	res.SenderSetAccuracy = SetAccuracy(tr.SenderStreamShared(receiver, trace.Physical), opts.Predictor, opts.Horizons)
 	res.Reordering = MismatchFraction(
-		tr.SenderStream(receiver, trace.Logical),
-		tr.SenderStream(receiver, trace.Physical),
+		logicalSenders,
+		tr.SenderStreamShared(receiver, trace.Physical),
 	)
 	return res, nil
 }

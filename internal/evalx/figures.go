@@ -1,10 +1,9 @@
 package evalx
 
 import (
-	"fmt"
-
 	"mpipredict/internal/core"
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
 )
 
@@ -25,24 +24,22 @@ type Table1Row struct {
 }
 
 // Table1 reproduces Table 1: it simulates every (workload, process count)
-// pair of the paper and characterises the traced receiver's stream.
-// Options.Iterations can shrink the runs for quick looks; the bench
-// harness uses the full defaults.
+// pair of the paper and characterises the traced receiver's stream. The
+// rows are computed in parallel (Options.Parallelism) against the shared
+// trace cache. Options.Iterations can shrink the runs for quick looks;
+// the bench harness uses the full defaults.
 func Table1(opts Options) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, len(workloads.PaperSpecs()))
-	for _, spec := range workloads.PaperSpecs() {
-		row, err := Table1Single(spec, opts)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return NewRunner(opts.Parallelism).Table1(opts)
 }
 
 // Table1Single computes one row of Table 1.
 func Table1Single(spec workloads.Spec, opts Options) (Table1Row, error) {
-	opts = opts.withDefaults()
+	return table1SingleCached(spec, opts.withDefaults(), optsCache(opts))
+}
+
+// table1SingleCached computes one row of Table 1 with an explicit trace
+// source.
+func table1SingleCached(spec workloads.Spec, opts Options, cache *tracecache.Cache) (Table1Row, error) {
 	if opts.Iterations > 0 {
 		spec.Iterations = opts.Iterations
 	}
@@ -50,12 +47,12 @@ func Table1Single(spec workloads.Spec, opts Options) (Table1Row, error) {
 	if err != nil {
 		return Table1Row{}, err
 	}
-	tr, err := workloads.Run(workloads.RunConfig{
+	tr, err := getTrace(workloads.RunConfig{
 		Spec:           spec,
 		Net:            opts.Net,
 		Seed:           opts.Seed,
 		TraceReceivers: []int{receiver},
-	})
+	}, cache)
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -76,6 +73,30 @@ func Table1Single(spec workloads.Spec, opts Options) (Table1Row, error) {
 		row.PaperSend = ref.Senders
 	}
 	return row, nil
+}
+
+// Table1P2PRelativeError returns the mean relative error of the
+// reproduced point-to-point message counts against the paper's values,
+// over the rows for which the paper reports a value. It is the headline
+// fidelity metric of the Table 1 benchmark and of cmd/benchjson; both
+// share this definition so the tracked trajectory cannot drift.
+func Table1P2PRelativeError(rows []Table1Row) float64 {
+	var relErr float64
+	var n int
+	for _, r := range rows {
+		if r.PaperP2P > 0 {
+			diff := float64(r.P2PMsgs-r.PaperP2P) / float64(r.PaperP2P)
+			if diff < 0 {
+				diff = -diff
+			}
+			relErr += diff
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return relErr / float64(n)
 }
 
 // Figure1Result captures the Figure 1 experiment: the iterative pattern of
@@ -103,12 +124,12 @@ func Figure1(opts Options) (Figure1Result, error) {
 	if err != nil {
 		return Figure1Result{}, err
 	}
-	tr, err := workloads.Run(workloads.RunConfig{
+	tr, err := getTrace(workloads.RunConfig{
 		Spec:           spec,
 		Net:            opts.Net,
 		Seed:           opts.Seed,
 		TraceReceivers: []int{receiver},
-	})
+	}, optsCache(opts))
 	if err != nil {
 		return Figure1Result{}, err
 	}
@@ -153,12 +174,12 @@ func Figure2(opts Options) (Figure2Result, error) {
 	if err != nil {
 		return Figure2Result{}, err
 	}
-	tr, err := workloads.Run(workloads.RunConfig{
+	tr, err := getTrace(workloads.RunConfig{
 		Spec:           spec,
 		Net:            opts.Net,
 		Seed:           opts.Seed,
 		TraceReceivers: []int{receiver},
-	})
+	}, optsCache(opts))
 	if err != nil {
 		return Figure2Result{}, err
 	}
@@ -207,19 +228,11 @@ func AccuracyFigure(level trace.Level, opts Options) (FigureResult, error) {
 }
 
 // SweepAll runs the prediction experiment for every paper configuration
-// and returns the per-configuration results, keyed in Table 1 order.
+// and returns the per-configuration results, keyed in Table 1 order. The
+// experiments run in parallel (Options.Parallelism) against the shared
+// trace cache; the results are identical to a serial sweep.
 func SweepAll(opts Options) ([]Result, error) {
-	opts = opts.withDefaults()
-	specs := workloads.PaperSpecs()
-	out := make([]Result, 0, len(specs))
-	for _, spec := range specs {
-		res, err := RunExperiment(spec, opts)
-		if err != nil {
-			return nil, fmt.Errorf("evalx: experiment %s.%d: %w", spec.Name, spec.Procs, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
+	return NewRunner(opts.Parallelism).SweepAll(opts)
 }
 
 // FiguresFromResults derives the Figure 3 and Figure 4 data from a

@@ -1,0 +1,163 @@
+package evalx
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mpipredict/internal/tracecache"
+	"mpipredict/internal/workloads"
+)
+
+// Runner executes prediction experiments over a bounded worker pool. The
+// experiment grid of the paper — every (workload, process count) pair,
+// evaluated at two instrumentation levels — is embarrassingly parallel:
+// each cell simulates and evaluates independently, and all shared state
+// (the trace cache, the traces themselves) is concurrency-safe. Results
+// are always delivered in grid order, so the produced tables and figures
+// are byte-identical regardless of the worker count.
+type Runner struct {
+	// Parallelism bounds the number of concurrently running experiments.
+	// Zero (and negative) selects GOMAXPROCS. One reproduces the serial
+	// behaviour exactly.
+	Parallelism int
+	// Cache supplies simulated traces. Nil selects the process-wide
+	// tracecache.Shared, which lets Table 1, Figures 3/4 and the
+	// scalability replays share simulations.
+	Cache *tracecache.Cache
+}
+
+// NewRunner returns a Runner with the given parallelism (0 = GOMAXPROCS)
+// and the shared trace cache.
+func NewRunner(parallelism int) *Runner {
+	return &Runner{Parallelism: parallelism}
+}
+
+func (r *Runner) workers() int {
+	if r == nil || r.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Parallelism
+}
+
+// cache resolves the trace cache to use for one invocation: nil (direct
+// simulation) when the options disable caching, otherwise the runner's
+// cache or the shared one.
+func (r *Runner) cache(opts Options) *tracecache.Cache {
+	if opts.NoCache {
+		return nil
+	}
+	if r != nil && r.Cache != nil {
+		return r.Cache
+	}
+	return tracecache.Shared
+}
+
+// forEachIndexed runs fn(0..n-1) over at most `workers` goroutines and
+// returns the lowest-index error, mirroring what the serial loop would
+// have reported first. Once any item fails, unstarted items are skipped
+// (in-flight ones finish), so a failing grid does not burn through the
+// remaining simulations. With workers <= 1 it degenerates to a plain
+// loop.
+func forEachIndexed(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next, failed int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if atomic.LoadInt64(&failed) != 0 {
+					return
+				}
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					atomic.StoreInt64(&failed, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Evaluate runs the prediction experiment for every spec, in order, fanned
+// out over the worker pool. The i-th result corresponds to specs[i].
+func (r *Runner) Evaluate(specs []workloads.Spec, opts Options) ([]Result, error) {
+	opts = opts.withDefaults()
+	out := make([]Result, len(specs))
+	err := forEachIndexed(len(specs), r.workers(), func(i int) error {
+		res, err := runExperimentCached(specs[i], opts, r.cache(opts))
+		if err != nil {
+			return fmt.Errorf("evalx: experiment %s.%d: %w", specs[i].Name, specs[i].Procs, err)
+		}
+		out[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepAll runs the prediction experiment for every paper configuration
+// and returns the per-configuration results in Table 1 order.
+func (r *Runner) SweepAll(opts Options) ([]Result, error) {
+	return r.Evaluate(workloads.PaperSpecs(), opts)
+}
+
+// Figures34 derives the Figure 3 (logical) and Figure 4 (physical) data
+// from one parallel sweep of the paper grid.
+func (r *Runner) Figures34(opts Options) (logical, physical FigureResult, err error) {
+	results, err := r.SweepAll(opts)
+	if err != nil {
+		return FigureResult{}, FigureResult{}, err
+	}
+	logical, physical = FiguresFromResults(opts, results)
+	return logical, physical, nil
+}
+
+// Table1 reproduces Table 1 with the experiments fanned out over the
+// worker pool, in the paper's row order.
+func (r *Runner) Table1(opts Options) ([]Table1Row, error) {
+	opts = opts.withDefaults()
+	specs := workloads.PaperSpecs()
+	rows := make([]Table1Row, len(specs))
+	err := forEachIndexed(len(specs), r.workers(), func(i int) error {
+		row, err := table1SingleCached(specs[i], opts, r.cache(opts))
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,173 @@
+package evalx
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"mpipredict/internal/tracecache"
+	"mpipredict/internal/workloads"
+)
+
+// quickOpts shrinks the experiments enough for unit tests while still
+// running every paper configuration.
+func quickOpts() Options {
+	return Options{Seed: 42, Iterations: 3}
+}
+
+// TestSweepDeterministicAcrossParallelism is the determinism contract of
+// the concurrent experiment engine: the same seed must yield identical
+// results — and therefore byte-identical tables and figures — for every
+// worker count. NoCache forces each run through the full simulate+evaluate
+// pipeline instead of short-circuiting runs 2 and 3 via the cache.
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	opts := quickOpts()
+	opts.NoCache = true
+
+	var reference []Result
+	var refLogical, refPhysical FigureResult
+	for _, parallelism := range []int{1, 2, 8} {
+		r := NewRunner(parallelism)
+		results, err := r.SweepAll(opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		logical, physical := FiguresFromResults(opts, results)
+		if reference == nil {
+			reference, refLogical, refPhysical = results, logical, physical
+			continue
+		}
+		if !reflect.DeepEqual(results, reference) {
+			t.Errorf("parallelism %d: sweep results differ from the serial run", parallelism)
+		}
+		if !reflect.DeepEqual(logical, refLogical) || !reflect.DeepEqual(physical, refPhysical) {
+			t.Errorf("parallelism %d: figure data differs from the serial run", parallelism)
+		}
+	}
+}
+
+// TestTable1DeterministicAcrossParallelism is the same contract for the
+// Table 1 grid.
+func TestTable1DeterministicAcrossParallelism(t *testing.T) {
+	opts := quickOpts()
+	opts.NoCache = true
+
+	var reference []Table1Row
+	for _, parallelism := range []int{1, 2, 8} {
+		rows, err := NewRunner(parallelism).Table1(opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		if reference == nil {
+			reference = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, reference) {
+			t.Errorf("parallelism %d: Table 1 rows differ from the serial run", parallelism)
+		}
+	}
+}
+
+// TestCachedSweepMatchesUncached checks that routing experiments through
+// the trace cache changes nothing about the results.
+func TestCachedSweepMatchesUncached(t *testing.T) {
+	opts := quickOpts()
+
+	cold := opts
+	cold.NoCache = true
+	uncached, err := NewRunner(1).SweepAll(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := &Runner{Parallelism: 4, Cache: tracecache.New()}
+	cached, err := r.SweepAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached, uncached) {
+		t.Error("cached sweep results differ from uncached sweep results")
+	}
+	if s := r.Cache.Stats(); s.Misses == 0 {
+		t.Errorf("cache stats = %+v: the sweep never used the cache", s)
+	}
+}
+
+// TestRunnerSharesSimulationsAcrossEntryPoints checks the headline cache
+// effect: after a sweep has populated the cache, Table 1 over the same
+// grid performs zero additional simulations.
+func TestRunnerSharesSimulationsAcrossEntryPoints(t *testing.T) {
+	opts := quickOpts()
+	r := &Runner{Parallelism: 2, Cache: tracecache.New()}
+	if _, err := r.SweepAll(opts); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Cache.Stats()
+	if _, err := r.Table1(opts); err != nil {
+		t.Fatal(err)
+	}
+	final := r.Cache.Stats()
+	if final.Misses != after.Misses {
+		t.Errorf("Table 1 re-simulated %d specs the sweep had already simulated", final.Misses-after.Misses)
+	}
+}
+
+// TestForEachIndexedReportsLowestIndexError pins the error semantics the
+// serial loop had: the error reported is the one the serial run would have
+// hit first.
+func TestForEachIndexedReportsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := forEachIndexed(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errB) {
+		t.Errorf("got %v, want the index-3 error", err)
+	}
+}
+
+// TestForEachIndexedVisitsEveryIndexOnce covers the pool's work
+// distribution.
+func TestForEachIndexedVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var visits [37]int64
+		err := forEachIndexed(len(visits), workers, func(i int) error {
+			atomic.AddInt64(&visits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestRunnerEvaluateOrdersResultsBySpec checks result/spec alignment under
+// parallel execution.
+func TestRunnerEvaluateOrdersResultsBySpec(t *testing.T) {
+	specs := []workloads.Spec{
+		{Name: "cg", Procs: 8},
+		{Name: "bt", Procs: 4},
+		{Name: "is", Procs: 8},
+	}
+	results, err := NewRunner(3).Evaluate(specs, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.App != specs[i].Name || res.Procs != specs[i].Procs {
+			t.Errorf("result %d is %s.%d, want %s.%d", i, res.App, res.Procs, specs[i].Name, specs[i].Procs)
+		}
+	}
+}

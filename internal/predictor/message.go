@@ -42,25 +42,33 @@ func (m *MessagePredictor) Observe(sender int, size int64) {
 
 // Forecast predicts the next `count` messages.
 func (m *MessagePredictor) Forecast(count int) []MessageForecast {
-	out := make([]MessageForecast, 0, count)
+	return m.ForecastInto(make([]MessageForecast, 0, count), count)
+}
+
+// ForecastInto appends the next `count` message forecasts to dst and
+// returns it. The per-message replay loops of the scalability mechanisms
+// pass a reused buffer (dst[:0] of the previous call), so steady-state
+// forecasting performs no allocations.
+func (m *MessagePredictor) ForecastInto(dst []MessageForecast, count int) []MessageForecast {
 	for k := 1; k <= count; k++ {
 		s, okS := m.sender.Predict(k)
 		z, okZ := m.size.Predict(k)
-		out = append(out, MessageForecast{
+		dst = append(dst, MessageForecast{
 			Ahead:  k,
 			Sender: int(s),
 			Size:   z,
 			OK:     okS && okZ,
 		})
 	}
-	return out
+	return dst
 }
 
 // ForecastSenders returns the set of ranks expected to send one of the
 // next `count` messages (duplicates removed, order not meaningful), along
-// with the total number of bytes forecast per sender. Section 5.3 of the
-// paper argues that this order-free view is what buffer pre-allocation
-// needs and that it remains accurate even at the physical level.
+// with the total number of bytes forecast per sender — the order-free view
+// of Section 5.3 of the paper. It allocates a fresh map per call and is
+// meant for diagnostics and one-off queries; the per-message replay loops
+// use ForecastInto with a reused buffer instead.
 func (m *MessagePredictor) ForecastSenders(count int) (map[int]int64, bool) {
 	fc := m.Forecast(count)
 	out := make(map[int]int64)

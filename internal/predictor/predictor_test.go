@@ -405,3 +405,28 @@ func BenchmarkPredictorsObservePredict(b *testing.B) {
 		})
 	}
 }
+
+func TestForecastIntoMatchesForecastAndDoesNotAllocate(t *testing.T) {
+	mp := NewDPDMessagePredictor(core.DefaultConfig())
+	// Lock both streams on a simple periodic pattern.
+	for i := 0; i < 4*core.DefaultConfig().WindowSize; i++ {
+		mp.Observe(i%6, int64(100*(i%6)+8))
+	}
+	plain := mp.Forecast(5)
+	into := mp.ForecastInto(nil, 5)
+	if len(plain) != len(into) {
+		t.Fatalf("length mismatch: %d vs %d", len(plain), len(into))
+	}
+	for i := range plain {
+		if plain[i] != into[i] {
+			t.Errorf("forecast %d differs: %+v vs %+v", i, plain[i], into[i])
+		}
+	}
+	buf := make([]MessageForecast, 0, 5)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = mp.ForecastInto(buf[:0], 5)
+	})
+	if allocs != 0 {
+		t.Errorf("ForecastInto with a reused buffer allocates %.2f objects per call, want 0", allocs)
+	}
+}

@@ -92,6 +92,11 @@ type BufferManager struct {
 	procs     int
 	allocated map[int]bool
 	stats     BufferStats
+
+	// next and forecast are scratch buffers reused across messages so the
+	// per-message reprovision performs no allocations in steady state.
+	next     map[int]bool
+	forecast []predictor.MessageForecast
 }
 
 // NewBufferManager returns a manager for a job with the given number of
@@ -105,6 +110,7 @@ func NewBufferManager(procs int, cfg BufferConfig) (*BufferManager, error) {
 		cfg:       cfg,
 		procs:     procs,
 		allocated: make(map[int]bool),
+		next:      make(map[int]bool),
 		stats:     BufferStats{StaticMemory: StaticBufferMemory(procs, cfg.PerPeerBytes)},
 	}, nil
 }
@@ -126,23 +132,27 @@ func (m *BufferManager) OnMessage(sender int, size int64) {
 // reprovision reallocates buffers for the currently forecast senders. The
 // previous allocation is released first; in a real implementation the
 // buffers would be recycled, but for the memory accounting only the
-// simultaneous peak matters.
+// simultaneous peak matters. The forecast buffer and the two allocation
+// maps are reused (swap + clear) so this per-message step does not
+// allocate.
 func (m *BufferManager) reprovision() {
-	forecast, ok := m.cfg.Forecaster.ForecastSenders(m.cfg.Horizon)
-	if !ok {
-		// No prediction available: keep the current allocation so the
-		// learning phase does not flap.
-		return
-	}
-	next := make(map[int]bool, len(forecast))
-	for sender := range forecast {
-		if sender >= 0 && sender < m.procs {
-			next[sender] = true
+	m.forecast = m.cfg.Forecaster.ForecastInto(m.forecast[:0], m.cfg.Horizon)
+	for _, f := range m.forecast {
+		if !f.OK {
+			// No complete prediction available: keep the current
+			// allocation so the learning phase does not flap.
+			return
 		}
 	}
-	m.allocated = next
-	if len(next) > m.stats.PeakBuffers {
-		m.stats.PeakBuffers = len(next)
+	clear(m.next)
+	for _, f := range m.forecast {
+		if f.Sender >= 0 && f.Sender < m.procs {
+			m.next[f.Sender] = true
+		}
+	}
+	m.allocated, m.next = m.next, m.allocated
+	if len(m.allocated) > m.stats.PeakBuffers {
+		m.stats.PeakBuffers = len(m.allocated)
 	}
 	m.stats.PeakMemory = int64(m.stats.PeakBuffers) * m.cfg.PerPeerBytes
 }

@@ -85,6 +85,12 @@ type CreditManager struct {
 	procs   int
 	credits map[int][]int64 // outstanding per-sender credited sizes
 	stats   CreditStats
+
+	// next and forecast are scratch buffers recycled across messages
+	// (swap + truncate) so the per-message regrant does not allocate in
+	// steady state.
+	next     map[int][]int64
+	forecast []predictor.MessageForecast
 }
 
 // NewCreditManager builds a credit manager for a job with the given
@@ -99,6 +105,7 @@ func NewCreditManager(procs int, eagerBytes int64, cfg CreditConfig) (*CreditMan
 		cfg:     cfg,
 		procs:   procs,
 		credits: make(map[int][]int64),
+		next:    make(map[int][]int64),
 		stats:   CreditStats{UncontrolledExposureBytes: IncastExposure(procs, eagerBytes)},
 	}, nil
 }
@@ -110,7 +117,10 @@ func (m *CreditManager) OnMessage(sender int, size int64) {
 	m.stats.Messages++
 	if queue := m.credits[sender]; len(queue) > 0 {
 		m.stats.Credited++
-		m.credits[sender] = queue[1:]
+		// Shift in place rather than reslicing from the front, so the
+		// queue keeps its backing capacity for the recycling in regrant.
+		copy(queue, queue[1:])
+		m.credits[sender] = queue[:len(queue)-1]
 	} else {
 		m.stats.Uncredited++
 	}
@@ -119,18 +129,23 @@ func (m *CreditManager) OnMessage(sender int, size int64) {
 }
 
 // regrant recomputes the outstanding credits from the current forecast.
+// The retired credit map is recycled: its per-sender queues are truncated
+// in place and refilled, so the per-message churn of the seed
+// implementation (one map plus one slice per sender per message) is gone.
 func (m *CreditManager) regrant() {
-	forecast := m.cfg.Forecaster.Forecast(m.cfg.Horizon)
-	next := make(map[int][]int64)
+	m.forecast = m.cfg.Forecaster.ForecastInto(m.forecast[:0], m.cfg.Horizon)
+	for sender, queue := range m.next {
+		m.next[sender] = queue[:0]
+	}
 	var reserved int64
-	for _, f := range forecast {
+	for _, f := range m.forecast {
 		if !f.OK || f.Sender < 0 || f.Sender >= m.procs {
 			continue
 		}
-		next[f.Sender] = append(next[f.Sender], f.Size)
+		m.next[f.Sender] = append(m.next[f.Sender], f.Size)
 		reserved += f.Size
 	}
-	m.credits = next
+	m.credits, m.next = m.next, m.credits
 	if reserved > m.stats.PeakReservedBytes {
 		m.stats.PeakReservedBytes = reserved
 	}

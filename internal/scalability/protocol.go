@@ -79,6 +79,12 @@ type ProtocolAdvisor struct {
 	stats ProtocolStats
 	// granted maps a sender to the sizes the receiver pre-allocated for.
 	granted map[int][]int64
+
+	// next and forecast are scratch buffers recycled across messages
+	// (swap + truncate) so the per-message regrant does not allocate in
+	// steady state.
+	next     map[int][]int64
+	forecast []predictor.MessageForecast
 }
 
 // NewProtocolAdvisor builds an advisor.
@@ -92,6 +98,7 @@ func NewProtocolAdvisor(cfg ProtocolConfig) (*ProtocolAdvisor, error) {
 		cfg:     cfg,
 		model:   model,
 		granted: make(map[int][]int64),
+		next:    make(map[int][]int64),
 	}, nil
 }
 
@@ -130,15 +137,17 @@ func (a *ProtocolAdvisor) consumeGrant(sender int, size int64) bool {
 }
 
 func (a *ProtocolAdvisor) regrant() {
-	forecast := a.cfg.Forecaster.Forecast(a.cfg.Horizon)
-	next := make(map[int][]int64)
-	for _, f := range forecast {
+	a.forecast = a.cfg.Forecaster.ForecastInto(a.forecast[:0], a.cfg.Horizon)
+	for sender, queue := range a.next {
+		a.next[sender] = queue[:0]
+	}
+	for _, f := range a.forecast {
 		if !f.OK || f.Size <= a.model.EagerLimit() {
 			continue
 		}
-		next[f.Sender] = append(next[f.Sender], f.Size)
+		a.next[f.Sender] = append(a.next[f.Sender], f.Size)
 	}
-	a.granted = next
+	a.granted, a.next = a.next, a.granted
 }
 
 // Stats returns the statistics collected so far.

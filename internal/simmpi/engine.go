@@ -164,13 +164,17 @@ func (e *Engine) describeBlockedRanks() string {
 // flushPhysical sorts the buffered physical events of every receiver by
 // arrival time and appends them to the trace, assigning dense sequence
 // numbers. Ties are broken by the order the messages were sent so the
-// result is deterministic.
+// result is deterministic. The trace is grown once for the whole batch so
+// the appends never reallocate.
 func (e *Engine) flushPhysical() {
 	receivers := make([]int, 0, len(e.physical))
-	for r := range e.physical {
+	total := 0
+	for r, recs := range e.physical {
 		receivers = append(receivers, r)
+		total += len(recs)
 	}
 	sort.Ints(receivers)
+	e.tr.Grow(total)
 	for _, recv := range receivers {
 		recs := e.physical[recv]
 		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
@@ -191,13 +195,20 @@ func (e *Engine) recordLogical(rec trace.Record) {
 }
 
 // recordPhysical buffers a physical-level arrival record, if tracing is
-// enabled for the receiver.
+// enabled for the receiver. The per-receiver buffer starts with a chunky
+// capacity: traced workloads deliver hundreds to tens of thousands of
+// messages per receiver, so growing from a nil slice would pay a dozen
+// reallocations per receiver.
 func (e *Engine) recordPhysical(rec trace.Record) {
 	if e.cfg.DisablePhysical || !e.traced(rec.Receiver) {
 		return
 	}
 	rec.Level = trace.Physical
-	e.physical[rec.Receiver] = append(e.physical[rec.Receiver], rec)
+	buf := e.physical[rec.Receiver]
+	if buf == nil {
+		buf = make([]trace.Record, 0, 512)
+	}
+	e.physical[rec.Receiver] = append(buf, rec)
 }
 
 // SimulatedTime returns the largest rank clock reached during the run, an

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// naiveFilter is the seed implementation of Filter; the index must agree
+// with it on every trace.
+func naiveFilter(t *Trace, receiver int, level Level) []Record {
+	out := make([]Record, 0)
+	for _, r := range t.Records {
+		if r.Receiver == receiver && r.Level == level {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+func randomTrace(seed int64, receivers, records int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := New("rand", receivers)
+	for i := 0; i < records; i++ {
+		tr.Append(Record{
+			Receiver: rng.Intn(receivers),
+			Sender:   rng.Intn(receivers),
+			Size:     int64(rng.Intn(1 << 14)),
+			Level:    Level(rng.Intn(2)),
+			Kind:     Kind(rng.Intn(2)),
+			Time:     rng.Float64() * 1e6,
+		})
+	}
+	return tr
+}
+
+func TestIndexedFilterMatchesNaiveScan(t *testing.T) {
+	tr := randomTrace(1, 5, 2000)
+	for recv := 0; recv < 5; recv++ {
+		for _, level := range []Level{Logical, Physical} {
+			got := tr.Filter(recv, level)
+			want := naiveFilter(tr, recv, level)
+			if len(got) != len(want) {
+				t.Fatalf("receiver %d level %v: %d records, want %d", recv, level, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("receiver %d level %v record %d: %+v want %+v", recv, level, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStreamsMatchFilterProjection(t *testing.T) {
+	tr := randomTrace(2, 4, 1500)
+	for recv := 0; recv < 4; recv++ {
+		for _, level := range []Level{Logical, Physical} {
+			recs := naiveFilter(tr, recv, level)
+			senders := tr.SenderStream(recv, level)
+			sizes := tr.SizeStream(recv, level)
+			shared := tr.SenderStreamShared(recv, level)
+			sharedSizes := tr.SizeStreamShared(recv, level)
+			if len(senders) != len(recs) || len(sizes) != len(recs) {
+				t.Fatalf("stream length mismatch for receiver %d level %v", recv, level)
+			}
+			for i, r := range recs {
+				if senders[i] != int64(r.Sender) || shared[i] != int64(r.Sender) {
+					t.Fatalf("sender stream diverges at %d", i)
+				}
+				if sizes[i] != r.Size || sharedSizes[i] != r.Size {
+					t.Fatalf("size stream diverges at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexInvalidatedByAppend(t *testing.T) {
+	tr := New("x", 2)
+	tr.Append(Record{Receiver: 0, Sender: 1, Level: Logical})
+	if got := len(tr.SenderStream(0, Logical)); got != 1 {
+		t.Fatalf("stream length %d, want 1", got)
+	}
+	// Appending after the index was built must invalidate it.
+	tr.Append(Record{Receiver: 0, Sender: 2, Level: Logical})
+	senders := tr.SenderStream(0, Logical)
+	if len(senders) != 2 || senders[1] != 2 {
+		t.Fatalf("stream after append = %v, want [1 2]", senders)
+	}
+}
+
+func TestConcurrentStreamReads(t *testing.T) {
+	// Many goroutines trigger the lazy index build at once and then read
+	// every stream; run with -race to validate the locking.
+	tr := randomTrace(3, 4, 1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for recv := 0; recv < 4; recv++ {
+				for _, level := range []Level{Logical, Physical} {
+					a := tr.SenderStreamShared(recv, level)
+					b := tr.SenderStream(recv, level)
+					if len(a) != len(b) {
+						t.Errorf("shared/copy length mismatch: %d vs %d", len(a), len(b))
+						return
+					}
+					tr.Characterize(recv, level, 0.99)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGrowPreservesRecords(t *testing.T) {
+	tr := New("x", 2)
+	tr.Append(Record{Receiver: 0, Sender: 1, Level: Logical})
+	tr.Grow(100)
+	if cap(tr.Records)-len(tr.Records) < 100 {
+		t.Errorf("Grow(100) left only %d free slots", cap(tr.Records)-len(tr.Records))
+	}
+	tr.Append(Record{Receiver: 0, Sender: 2, Level: Logical})
+	if got := tr.SenderStream(0, Logical); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("records after Grow = %v, want [1 2]", got)
+	}
+	tr.Grow(0) // no-op
+	tr.Grow(-5)
+}
+
+// BenchmarkSenderStream measures the indexed stream query (one copy).
+func BenchmarkSenderStream(b *testing.B) {
+	tr := randomTrace(4, 8, 50000)
+	tr.SenderStream(0, Logical) // build the index outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SenderStream(i%8, Logical)
+	}
+}
+
+// BenchmarkSenderStreamShared measures the zero-copy variant used by the
+// evaluation hot path.
+func BenchmarkSenderStreamShared(b *testing.B) {
+	tr := randomTrace(5, 8, 50000)
+	tr.SenderStream(0, Logical)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SenderStreamShared(i%8, Logical)
+	}
+}
+
+// BenchmarkSenderStreamNaive documents what the seed implementation paid
+// per query: a full scan of all records plus a sort.
+func BenchmarkSenderStreamNaive(b *testing.B) {
+	tr := randomTrace(6, 8, 50000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := naiveFilter(tr, i%8, Logical)
+		out := make([]int64, len(recs))
+		for j, r := range recs {
+			out[j] = int64(r.Sender)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mpipredict/internal/stats"
 )
@@ -111,6 +112,13 @@ type Record struct {
 }
 
 // Trace is the complete set of receive events of one simulated run.
+//
+// A fully built Trace is safe for concurrent readers: the stream accessors
+// (Filter, SenderStream, SizeStream, StreamsOfKind, Characterize, ...)
+// share a lazily built per-(receiver, level) index behind a mutex, so a
+// cached trace can be evaluated by many goroutines at once. Append is NOT
+// safe to call concurrently with readers; grow the trace first, then share
+// it.
 type Trace struct {
 	// App is the workload name ("bt", "cg", "lu", "is", "sweep3d", ...).
 	App string
@@ -123,11 +131,27 @@ type Trace struct {
 	// seqCounts assigns per-(receiver, level) sequence numbers in O(1);
 	// it is rebuilt lazily when a trace is loaded from disk.
 	seqCounts map[streamKey]int64
+
+	// indexMu guards index. The index maps each (receiver, level) pair to
+	// its records and pre-extracted sender/size streams so the per-call
+	// O(len(Records)) scans of the seed implementation happen at most once
+	// per trace instead of once per query.
+	indexMu sync.RWMutex
+	index   map[streamKey]*streamIndex
 }
 
 type streamKey struct {
 	receiver int
 	level    Level
+}
+
+// streamIndex holds the per-(receiver, level) view of a trace: the records
+// in Seq order plus the two value streams the predictor consumes. The
+// slices are owned by the index and must be treated as read-only.
+type streamIndex struct {
+	recs    []Record
+	senders []int64
+	sizes   []int64
 }
 
 // New returns an empty trace for the given workload and process count.
@@ -151,43 +175,125 @@ func (t *Trace) Append(r Record) {
 	r.Seq = t.seqCounts[k]
 	t.seqCounts[k]++
 	t.Records = append(t.Records, r)
+	if t.index != nil {
+		t.indexMu.Lock()
+		t.index = nil
+		t.indexMu.Unlock()
+	}
+}
+
+// Grow pre-allocates capacity for n additional records, so bulk appends
+// (the physical-level flush at the end of a simulation) do not repeatedly
+// reallocate the backing array.
+func (t *Trace) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(t.Records) - len(t.Records); free < n {
+		grown := make([]Record, len(t.Records), len(t.Records)+n)
+		copy(grown, t.Records)
+		t.Records = grown
+	}
 }
 
 // Len returns the total number of records at both levels.
 func (t *Trace) Len() int { return len(t.Records) }
 
-// Filter returns the records of one receiver at one level, in Seq order.
-func (t *Trace) Filter(receiver int, level Level) []Record {
-	out := make([]Record, 0)
-	for _, r := range t.Records {
-		if r.Receiver == receiver && r.Level == level {
-			out = append(out, r)
+// stream returns the index entry for one (receiver, level) pair, building
+// the whole index on first use. The returned entry is shared and read-only.
+func (t *Trace) stream(receiver int, level Level) *streamIndex {
+	k := streamKey{receiver, level}
+	t.indexMu.RLock()
+	idx := t.index
+	t.indexMu.RUnlock()
+	if idx == nil {
+		t.indexMu.Lock()
+		if t.index == nil {
+			t.index = buildIndex(t.Records)
+		}
+		idx = t.index
+		t.indexMu.Unlock()
+	}
+	si := idx[k]
+	if si == nil {
+		si = &streamIndex{}
+	}
+	return si
+}
+
+// buildIndex groups the records by (receiver, level) in one pass and
+// extracts the sender and size streams. Append assigns Seq numbers
+// monotonically, so within one key the records are already in Seq order;
+// the stable sort below only reorders records of traces assembled by other
+// means, preserving the seed implementation's Filter semantics exactly.
+func buildIndex(records []Record) map[streamKey]*streamIndex {
+	counts := make(map[streamKey]int)
+	for i := range records {
+		counts[streamKey{records[i].Receiver, records[i].Level}]++
+	}
+	idx := make(map[streamKey]*streamIndex, len(counts))
+	for k, n := range counts {
+		idx[k] = &streamIndex{recs: make([]Record, 0, n)}
+	}
+	for i := range records {
+		k := streamKey{records[i].Receiver, records[i].Level}
+		idx[k].recs = append(idx[k].recs, records[i])
+	}
+	for _, si := range idx {
+		recs := si.recs
+		if !sort.SliceIsSorted(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq }) {
+			sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+		}
+		si.senders = make([]int64, len(recs))
+		si.sizes = make([]int64, len(recs))
+		for i := range recs {
+			si.senders[i] = int64(recs[i].Sender)
+			si.sizes[i] = recs[i].Size
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return idx
+}
+
+// Filter returns the records of one receiver at one level, in Seq order.
+// The result is a fresh slice the caller may modify.
+func (t *Trace) Filter(receiver int, level Level) []Record {
+	si := t.stream(receiver, level)
+	out := make([]Record, len(si.recs))
+	copy(out, si.recs)
 	return out
 }
 
 // SenderStream returns the sequence of sender ranks observed by receiver
 // at the given level — the first of the two streams the paper predicts.
+// The result is a fresh slice the caller may modify.
 func (t *Trace) SenderStream(receiver int, level Level) []int64 {
-	recs := t.Filter(receiver, level)
-	out := make([]int64, len(recs))
-	for i, r := range recs {
-		out[i] = int64(r.Sender)
-	}
+	si := t.stream(receiver, level)
+	out := make([]int64, len(si.senders))
+	copy(out, si.senders)
 	return out
 }
 
 // SizeStream returns the sequence of message sizes observed by receiver at
-// the given level — the second stream the paper predicts.
+// the given level — the second stream the paper predicts. The result is a
+// fresh slice the caller may modify.
 func (t *Trace) SizeStream(receiver int, level Level) []int64 {
-	recs := t.Filter(receiver, level)
-	out := make([]int64, len(recs))
-	for i, r := range recs {
-		out[i] = r.Size
-	}
+	si := t.stream(receiver, level)
+	out := make([]int64, len(si.sizes))
+	copy(out, si.sizes)
 	return out
+}
+
+// SenderStreamShared returns the indexed sender stream without copying.
+// The slice is shared with the trace and must be treated as read-only; the
+// evaluation hot path uses it to avoid one allocation per query.
+func (t *Trace) SenderStreamShared(receiver int, level Level) []int64 {
+	return t.stream(receiver, level).senders
+}
+
+// SizeStreamShared returns the indexed size stream without copying. The
+// slice is shared with the trace and must be treated as read-only.
+func (t *Trace) SizeStreamShared(receiver int, level Level) []int64 {
+	return t.stream(receiver, level).sizes
 }
 
 // StreamsOfKind returns the sender and size streams of one receiver at one
@@ -195,7 +301,7 @@ func (t *Trace) SizeStream(receiver int, level Level) []int64 {
 // the iterative point-to-point pattern of BT without the handful of setup
 // and verification collectives, which this restriction reproduces.
 func (t *Trace) StreamsOfKind(receiver int, level Level, kind Kind) (senders, sizes []int64) {
-	for _, r := range t.Filter(receiver, level) {
+	for _, r := range t.stream(receiver, level).recs {
 		if r.Kind != kind {
 			continue
 		}
@@ -239,7 +345,7 @@ type Characterization struct {
 // frequency threshold used for that notion (the Table 1 experiment uses
 // 0.99).
 func (t *Trace) Characterize(receiver int, level Level, coverage float64) Characterization {
-	recs := t.Filter(receiver, level)
+	recs := t.stream(receiver, level).recs
 	c := Characterization{App: t.App, Procs: t.Procs, Receiver: receiver}
 	sizes := stats.NewHist()
 	senders := stats.NewHist()
@@ -275,7 +381,7 @@ func (t *Trace) CharacterizeTypical(level Level, coverage float64) Characterizat
 	}
 	counts := make([]rc, 0, len(receivers))
 	for _, r := range receivers {
-		counts = append(counts, rc{r, len(t.Filter(r, level))})
+		counts = append(counts, rc{r, len(t.stream(r, level).recs)})
 	}
 	sort.Slice(counts, func(i, j int) bool {
 		if counts[i].count != counts[j].count {

@@ -35,6 +35,7 @@ import (
 	"mpipredict/internal/simmpi"
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
 )
 
@@ -87,8 +88,13 @@ type (
 
 // Evaluation types.
 type (
-	// EvalOptions controls a prediction experiment.
+	// EvalOptions controls a prediction experiment. Set Parallelism to
+	// bound the worker pool used by the sweep entry points (0 selects
+	// GOMAXPROCS) and NoCache to bypass the shared trace cache.
 	EvalOptions = evalx.Options
+	// EvalRunner executes experiment grids over a bounded worker pool
+	// with deterministic, order-preserving results.
+	EvalRunner = evalx.Runner
 	// EvalResult is the outcome of one prediction experiment.
 	EvalResult = evalx.Result
 	// StreamAccuracy holds per-horizon accuracies for one stream.
@@ -181,6 +187,15 @@ func RunWorkload(spec WorkloadSpec, net NetworkConfig, seed int64) (*Trace, erro
 	return workloads.Run(workloads.RunConfig{Spec: spec, Net: net, Seed: seed})
 }
 
+// RunWorkloadCached is RunWorkload through the shared trace cache: the
+// first call for a (spec, net, seed) key simulates, subsequent calls —
+// including concurrent ones, which wait for the single simulation — share
+// the stored trace. The returned trace is shared and must be treated as
+// read-only; concurrent readers are safe.
+func RunWorkloadCached(spec WorkloadSpec, net NetworkConfig, seed int64) (*Trace, error) {
+	return tracecache.Shared.Get(workloads.RunConfig{Spec: spec, Net: net, Seed: seed})
+}
+
 // RunWorkloadAllReceivers simulates a benchmark recording every rank's
 // streams.
 func RunWorkloadAllReceivers(spec WorkloadSpec, net NetworkConfig, seed int64) (*Trace, error) {
@@ -198,6 +213,20 @@ func RunProgram(cfg RuntimeConfig, program Program) (*Trace, error) {
 func Evaluate(spec WorkloadSpec, opts EvalOptions) (EvalResult, error) {
 	return evalx.RunExperiment(spec, opts)
 }
+
+// NewEvalRunner returns a runner that fans experiment grids out over at
+// most `parallelism` goroutines (0 selects GOMAXPROCS). Identical seeds
+// yield identical tables and figures for every parallelism setting.
+func NewEvalRunner(parallelism int) *EvalRunner { return evalx.NewRunner(parallelism) }
+
+// TraceCacheStats reports the hit/miss counters of the shared trace cache
+// used by the evaluation entry points.
+func TraceCacheStats() tracecache.Stats { return tracecache.Shared.Stats() }
+
+// ClearTraceCache drops every cached workload trace. Long-running
+// processes that sweep many seeds can call it between sweeps to bound
+// memory.
+func ClearTraceCache() { tracecache.Shared.Clear() }
 
 // EvaluateTrace evaluates prediction accuracy on an existing trace.
 func EvaluateTrace(tr *Trace, receiver int, opts EvalOptions) (EvalResult, error) {
