@@ -1,6 +1,7 @@
 // Command mpipredict regenerates the tables and figures of the paper
 // "Exploring the Predictability of MPI Messages" from the simulated
-// benchmarks.
+// benchmarks, or replays a previously exported trace through the same
+// prediction and evaluation pipeline.
 //
 // Usage:
 //
@@ -8,106 +9,244 @@
 //	mpipredict -experiment table1
 //	mpipredict -experiment figure3 -seed 7 -parallel 8
 //	mpipredict -experiment figure1 -iterations 40 -noiseless
+//	mpipredict -experiment table1 -cache-dir ~/.cache/mpipredict -cache-stats
+//	mpipredict -trace bt9.mpt -experiment table1
 //
 // Experiments: table1, figure1, figure2, figure3, figure4, all.
+//
+// With -trace, the named file (binary .mpt or JSONL, from cmd/tracegen)
+// replaces the simulator: table1 characterises the traced receiver and
+// figure3/figure4 evaluate prediction accuracy on its recorded streams.
+// With -cache-dir, simulated traces are persisted under the directory and
+// reused by later runs; a warm directory serves a full experiment grid
+// with zero simulator invocations (verify with -cache-stats).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/report"
 	"mpipredict/internal/simnet"
+	"mpipredict/internal/trace"
+	"mpipredict/internal/tracecache"
+	"mpipredict/internal/workloads"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: table1, figure1, figure2, figure3, figure4, all")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	iterations := flag.Int("iterations", 0, "override the per-workload iteration count (0 = class A defaults)")
-	noiseless := flag.Bool("noiseless", false, "disable network jitter and load imbalance")
-	parallel := flag.Int("parallel", 0, "max experiments evaluated concurrently (0 = GOMAXPROCS); results are identical for every setting")
-	nocache := flag.Bool("nocache", false, "re-simulate every workload instead of sharing traces between experiments")
-	flag.Parse()
-
-	opts := evalx.Options{Seed: *seed, Iterations: *iterations, Net: simnet.DefaultConfig(), Parallelism: *parallel, NoCache: *nocache}
-	if *noiseless {
-		opts.Net = simnet.NoiselessConfig()
-	}
-
-	if err := run(*experiment, opts); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "mpipredict:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, opts evalx.Options) error {
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mpipredict", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	experiment := fs.String("experiment", "all", "experiment to run: table1, figure1, figure2, figure3, figure4, all")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	iterations := fs.Int("iterations", 0, "override the per-workload iteration count (0 = class A defaults)")
+	noiseless := fs.Bool("noiseless", false, "disable network jitter and load imbalance")
+	parallel := fs.Int("parallel", 0, "max experiments evaluated concurrently (0 = GOMAXPROCS); results are identical for every setting")
+	nocache := fs.Bool("nocache", false, "re-simulate every workload instead of sharing traces between experiments")
+	tracePath := fs.String("trace", "", "replay this trace file (.mpt or JSONL) instead of simulating")
+	cacheDir := fs.String("cache-dir", "", "persist simulated traces under this directory and reuse them across runs")
+	cacheStats := fs.Bool("cache-stats", false, "print trace-cache statistics for this run to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *nocache && *cacheDir != "" {
+		return fmt.Errorf("-nocache and -cache-dir are mutually exclusive")
+	}
+	if *tracePath != "" {
+		// A replay evaluates the file's recorded run and touches no cache;
+		// silently ignoring simulation/cache knobs would let the user
+		// believe they took effect.
+		if set := setFlags(fs, "seed", "iterations", "noiseless", "parallel", "nocache", "cache-dir", "cache-stats"); len(set) > 0 {
+			return fmt.Errorf("%v only affect simulation and are ignored with -trace; drop them", set)
+		}
+	}
+
+	opts := evalx.Options{Seed: *seed, Iterations: *iterations, Net: simnet.DefaultConfig(), Parallelism: *parallel, NoCache: *nocache}
+	if *noiseless {
+		opts.Net = simnet.NoiselessConfig()
+	}
+	if *cacheDir != "" {
+		// A fresh Cache per invocation: its memory tier is empty, so the
+		// printed stats describe exactly this run, and the disk tier under
+		// cacheDir carries entries across runs and processes.
+		opts.Cache = tracecache.NewDisk(*cacheDir)
+	}
+	if *cacheStats {
+		cache := opts.Cache
+		if cache == nil && !opts.NoCache {
+			cache = tracecache.Shared
+		}
+		before := cacheStatsSnapshot(cache)
+		defer func() { printCacheStats(stderr, cache, before) }()
+	}
+
+	if *tracePath != "" {
+		return runReplay(*tracePath, *experiment, opts, stdout)
+	}
+	return runExperiments(*experiment, opts, stdout)
+}
+
+// setFlags returns which of the named flags were explicitly set on the
+// command line, prefixed with "-" for error messages.
+func setFlags(fs *flag.FlagSet, names ...string) []string {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var set []string
+	fs.Visit(func(f *flag.Flag) {
+		if want[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
+}
+
+func cacheStatsSnapshot(c *tracecache.Cache) tracecache.Stats {
+	if c == nil {
+		return tracecache.Stats{}
+	}
+	return c.Stats()
+}
+
+// printCacheStats reports the cache activity of this run: the delta
+// against the snapshot taken before it, so a long-lived shared cache does
+// not smear earlier runs into the numbers.
+func printCacheStats(w io.Writer, c *tracecache.Cache, before tracecache.Stats) {
+	if c == nil {
+		fmt.Fprintln(w, "cache: disabled (-nocache)")
+		return
+	}
+	s := c.Stats()
+	fmt.Fprintf(w, "cache: simulations=%d disk-hits=%d disk-writes=%d disk-errors=%d mem-hits=%d coalesced=%d entries=%d\n",
+		s.Misses-before.Misses, s.DiskHits-before.DiskHits, s.DiskWrites-before.DiskWrites,
+		s.DiskErrors-before.DiskErrors, s.Hits-before.Hits, s.Coalesced-before.Coalesced, s.Entries)
+}
+
+// runReplay feeds a trace loaded from disk through the evaluation
+// pipeline. Only the trace-shaped experiments make sense here: table1
+// (characterisation of the traced receiver) and figure3/figure4
+// (prediction accuracy on the recorded streams); "all" runs all of them.
+func runReplay(path, experiment string, opts evalx.Options, stdout io.Writer) error {
+	tr, err := trace.Load(path)
+	if err != nil {
+		return err
+	}
+	receiver, err := workloads.ReplayReceiver(tr)
+	if err != nil {
+		return err
+	}
+
+	wantTable1 := experiment == "table1" || experiment == "all"
+	wantLogical := experiment == "figure3" || experiment == "all"
+	wantPhysical := experiment == "figure4" || experiment == "all"
+	if !wantTable1 && !wantLogical && !wantPhysical {
+		return fmt.Errorf("experiment %q cannot replay a trace (supported with -trace: table1, figure3, figure4, all)", experiment)
+	}
+
+	if wantTable1 {
+		rows := []evalx.Table1Row{evalx.Table1RowFromTrace(tr, receiver)}
+		fmt.Fprintln(stdout, report.Table1(rows))
+	}
+	if wantLogical || wantPhysical {
+		res, err := evalx.EvaluateTrace(tr, receiver, opts)
+		if err != nil {
+			return err
+		}
+		logical, physical := evalx.FiguresFromResults(opts, []evalx.Result{res})
+		if wantLogical {
+			fmt.Fprintln(stdout, report.AccuracyFigure(logical))
+		}
+		if wantPhysical {
+			fmt.Fprintln(stdout, report.AccuracyFigure(physical))
+		}
+	}
+	return nil
+}
+
+func runExperiments(experiment string, opts evalx.Options, stdout io.Writer) error {
 	switch experiment {
 	case "table1":
-		return runTable1(opts)
+		return runTable1(opts, stdout)
 	case "figure1":
-		return runFigure1(opts)
+		return runFigure1(opts, stdout)
 	case "figure2":
-		return runFigure2(opts)
+		return runFigure2(opts, stdout)
 	case "figure3":
-		return runFigures(opts, true, false)
+		return runFigures(opts, stdout, true, false)
 	case "figure4":
-		return runFigures(opts, false, true)
+		return runFigures(opts, stdout, false, true)
 	case "all":
-		if err := runTable1(opts); err != nil {
+		if err := runTable1(opts, stdout); err != nil {
 			return err
 		}
-		if err := runFigure1(opts); err != nil {
+		if err := runFigure1(opts, stdout); err != nil {
 			return err
 		}
-		if err := runFigure2(opts); err != nil {
+		if err := runFigure2(opts, stdout); err != nil {
 			return err
 		}
-		return runFigures(opts, true, true)
+		return runFigures(opts, stdout, true, true)
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
 }
 
-func runTable1(opts evalx.Options) error {
+func runTable1(opts evalx.Options, stdout io.Writer) error {
 	rows, err := evalx.Table1(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Println(report.Table1(rows))
+	fmt.Fprintln(stdout, report.Table1(rows))
 	return nil
 }
 
-func runFigure1(opts evalx.Options) error {
+func runFigure1(opts evalx.Options, stdout io.Writer) error {
 	fig, err := evalx.Figure1(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Println(report.Figure1(fig))
+	fmt.Fprintln(stdout, report.Figure1(fig))
 	return nil
 }
 
-func runFigure2(opts evalx.Options) error {
+func runFigure2(opts evalx.Options, stdout io.Writer) error {
 	fig, err := evalx.Figure2(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Println(report.Figure2(fig, 36))
+	fmt.Fprintln(stdout, report.Figure2(fig, 36))
 	return nil
 }
 
-func runFigures(opts evalx.Options, wantLogical, wantPhysical bool) error {
+func runFigures(opts evalx.Options, stdout io.Writer, wantLogical, wantPhysical bool) error {
 	results, err := evalx.SweepAll(opts)
 	if err != nil {
 		return err
 	}
 	logical, physical := evalx.FiguresFromResults(opts, results)
 	if wantLogical {
-		fmt.Println(report.AccuracyFigure(logical))
+		fmt.Fprintln(stdout, report.AccuracyFigure(logical))
 	}
 	if wantPhysical {
-		fmt.Println(report.AccuracyFigure(physical))
+		fmt.Fprintln(stdout, report.AccuracyFigure(physical))
 	}
 	return nil
 }

@@ -8,78 +8,138 @@
 //	scalesim -mode memory   -workload bt -procs 25
 //	scalesim -mode credits  -workload is -procs 32
 //	scalesim -mode protocol -workload lu -procs 4
+//	scalesim -mode memory   -trace bt25.mpt
 //	scalesim -mode static-sweep
+//
+// With -trace, the named file (from cmd/tracegen) replaces the simulator
+// and the replay runs against its recorded streams.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mpipredict/internal/report"
 	"mpipredict/internal/scalability"
 	"mpipredict/internal/simnet"
+	"mpipredict/internal/trace"
 	"mpipredict/internal/workloads"
 )
 
 func main() {
-	mode := flag.String("mode", "memory", "mechanism to evaluate: memory, credits, protocol, static-sweep")
-	name := flag.String("workload", "bt", "workload name")
-	procs := flag.Int("procs", 25, "number of simulated processes")
-	iterations := flag.Int("iterations", 0, "iteration override (0 = class A default)")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	flag.Parse()
-
-	if *mode == "static-sweep" {
-		staticSweep()
-		return
-	}
-	if err := run(*mode, *name, *procs, *iterations, *seed); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "scalesim:", err)
 		os.Exit(1)
 	}
 }
 
-// staticSweep prints the Section 2.1 memory argument: per-process buffer
-// memory of the conventional one-buffer-per-peer scheme as the job grows.
-func staticSweep() {
-	fmt.Println("Static per-peer buffer memory (16 KiB per peer), per process:")
-	for _, procs := range []int{64, 256, 1024, 4096, 10000, 65536} {
-		bytes := scalability.StaticBufferMemory(procs, scalability.DefaultPerPeerBufferBytes)
-		fmt.Printf("%8d processes: %8.1f MiB\n", procs, float64(bytes)/(1<<20))
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("scalesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	mode := fs.String("mode", "memory", "mechanism to evaluate: memory, credits, protocol, static-sweep")
+	name := fs.String("workload", "bt", "workload name")
+	procs := fs.Int("procs", 25, "number of simulated processes")
+	iterations := fs.Int("iterations", 0, "iteration override (0 = class A default)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	tracePath := fs.String("trace", "", "replay this trace file (.mpt or JSONL) instead of simulating")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *tracePath != "" {
+		// A replay evaluates the file's recorded run; silently ignoring
+		// simulation knobs would let the user believe they changed it.
+		var set []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workload", "procs", "iterations", "seed":
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			return fmt.Errorf("%v only affect simulation and are ignored with -trace; drop them", set)
+		}
+	}
+
+	if *mode == "static-sweep" {
+		if *tracePath != "" {
+			return fmt.Errorf("-trace is ignored by -mode static-sweep; drop it")
+		}
+		staticSweep(stdout)
+		return nil
+	}
+	tr, receiver, err := replaySource(*tracePath, *name, *procs, *iterations, *seed)
+	if err != nil {
+		return err
+	}
+	return replay(*mode, tr, receiver, stdout)
 }
 
-func run(mode, name string, procs, iterations int, seed int64) error {
+// replaySource produces the trace and receiver to replay: loaded from the
+// given file when path is non-empty, freshly simulated otherwise.
+func replaySource(path, name string, procs, iterations int, seed int64) (*trace.Trace, int, error) {
+	if path != "" {
+		tr, err := trace.Load(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		receiver, err := workloads.ReplayReceiver(tr)
+		if err != nil {
+			return nil, 0, err
+		}
+		return tr, receiver, nil
+	}
 	spec := workloads.Spec{Name: name, Procs: procs, Iterations: iterations}
 	tr, err := workloads.Run(workloads.RunConfig{Spec: spec, Net: simnet.DefaultConfig(), Seed: seed})
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	receiver, err := workloads.TypicalReceiver(name, procs)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
+	return tr, receiver, nil
+}
 
+// staticSweep prints the Section 2.1 memory argument: per-process buffer
+// memory of the conventional one-buffer-per-peer scheme as the job grows.
+func staticSweep(stdout io.Writer) {
+	fmt.Fprintln(stdout, "Static per-peer buffer memory (16 KiB per peer), per process:")
+	for _, procs := range []int{64, 256, 1024, 4096, 10000, 65536} {
+		bytes := scalability.StaticBufferMemory(procs, scalability.DefaultPerPeerBufferBytes)
+		fmt.Fprintf(stdout, "%8d processes: %8.1f MiB\n", procs, float64(bytes)/(1<<20))
+	}
+}
+
+func replay(mode string, tr *trace.Trace, receiver int, stdout io.Writer) error {
 	switch mode {
 	case "memory":
 		stats, err := scalability.ReplayBuffers(tr, receiver, scalability.BufferConfig{})
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Buffers(name, procs, stats))
+		fmt.Fprintln(stdout, report.Buffers(tr.App, tr.Procs, stats))
 	case "credits":
 		stats, err := scalability.ReplayCredits(tr, receiver, 0, scalability.CreditConfig{})
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Credits(name, procs, stats))
+		fmt.Fprintln(stdout, report.Credits(tr.App, tr.Procs, stats))
 	case "protocol":
 		stats, err := scalability.ReplayProtocol(tr, receiver, scalability.ProtocolConfig{})
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Protocol(name, procs, stats))
+		fmt.Fprintln(stdout, report.Protocol(tr.App, tr.Procs, stats))
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpipredict/internal/simnet"
+	"mpipredict/internal/trace"
+	"mpipredict/internal/workloads"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err = run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestFlagParsing(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{name: "unknown flag", args: []string{"-frobnicate"}, wantErr: "flag provided but not defined"},
+		{name: "positional args rejected", args: []string{"memory"}, wantErr: "unexpected arguments"},
+		{name: "unknown mode", args: []string{"-mode", "teleport", "-procs", "4", "-iterations", "1"}, wantErr: `unknown mode "teleport"`},
+		{name: "unknown workload", args: []string{"-workload", "nope"}, wantErr: "unknown workload"},
+		{name: "missing trace file", args: []string{"-trace", "/no/such/file.mpt"}, wantErr: "no such file"},
+		{name: "trace rejects workload/procs", args: []string{"-trace", "x.mpt", "-workload", "bt", "-procs", "25"}, wantErr: "ignored with -trace"},
+		{name: "trace rejects seed", args: []string{"-trace", "x.mpt", "-seed", "7"}, wantErr: "ignored with -trace"},
+		{name: "static-sweep rejects trace", args: []string{"-mode", "static-sweep", "-trace", "x.mpt"}, wantErr: "static-sweep"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, _, err := runCLI(t, tt.args...)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestStaticSweep(t *testing.T) {
+	stdout, _, err := runCLI(t, "-mode", "static-sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Static per-peer buffer memory", "65536 processes"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("static-sweep output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestModesEndToEndTiny(t *testing.T) {
+	tests := []struct {
+		mode string
+		want string
+	}{
+		{"memory", "Section 2.1"},
+		{"credits", "Section 2.2"},
+		{"protocol", "Section 2.3"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.mode, func(t *testing.T) {
+			stdout, _, err := runCLI(t, "-mode", tt.mode, "-workload", "bt", "-procs", "4", "-iterations", "2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(stdout, tt.want) || !strings.Contains(stdout, "bt, 4 procs") {
+				t.Errorf("%s output missing headline:\n%s", tt.mode, stdout)
+			}
+		})
+	}
+}
+
+// TestTraceReplayMatchesDirectRun exports a trace the way tracegen does
+// and checks that replaying it produces exactly the report the simulate-
+// in-process path prints for the same configuration.
+func TestTraceReplayMatchesDirectRun(t *testing.T) {
+	tr, err := workloads.Run(workloads.RunConfig{
+		Spec: workloads.Spec{Name: "bt", Procs: 4, Iterations: 2},
+		Net:  simnet.DefaultConfig(),
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bt4.mpt")
+	if err := trace.SaveBinaryFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"memory", "credits", "protocol"} {
+		t.Run(mode, func(t *testing.T) {
+			direct, _, err := runCLI(t, "-mode", mode, "-workload", "bt", "-procs", "4", "-iterations", "2", "-seed", "1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, _, err := runCLI(t, "-mode", mode, "-trace", path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct != replayed {
+				t.Errorf("replay differs from direct run\n--- direct ---\n%s--- replay ---\n%s", direct, replayed)
+			}
+		})
+	}
+}
+
+// TestTraceReplayJSONLAlsoAccepted checks format sniffing on the replay
+// path.
+func TestTraceReplayJSONLAlsoAccepted(t *testing.T) {
+	tr, err := workloads.Run(workloads.RunConfig{
+		Spec: workloads.Spec{Name: "lu", Procs: 4, Iterations: 1},
+		Net:  simnet.DefaultConfig(),
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lu4.jsonl")
+	if err := trace.SaveFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	stdout, _, err := runCLI(t, "-mode", "memory", "-trace", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, fmt.Sprintf("lu, %d procs", 4)) {
+		t.Errorf("JSONL replay output wrong:\n%s", stdout)
+	}
+}

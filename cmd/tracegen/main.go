@@ -1,15 +1,20 @@
-// Command tracegen simulates one benchmark and writes its dual-level
-// message trace (logical and physical receive streams) as JSON lines.
+// Command tracegen simulates one benchmark and exports its dual-level
+// message trace (logical and physical receive streams) as JSON lines or in
+// the compact binary trace format (.mpt) that cmd/mpipredict and
+// cmd/scalesim can replay.
 //
 // Usage:
 //
 //	tracegen -workload bt -procs 9 -out bt9.jsonl
-//	tracegen -workload is -procs 32 -iterations 11 -all-receivers -out is32.jsonl
+//	tracegen -workload bt -procs 9 -o bt9.mpt
+//	tracegen -workload is -procs 32 -iterations 11 -all-receivers -o is32.mpt
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mpipredict/internal/simnet"
@@ -18,21 +23,41 @@ import (
 )
 
 func main() {
-	name := flag.String("workload", "bt", "workload name (bt, cg, lu, is, sweep3d)")
-	procs := flag.Int("procs", 4, "number of simulated processes")
-	iterations := flag.Int("iterations", 0, "iteration override (0 = class A default)")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	out := flag.String("out", "", "output file (default: stdout)")
-	allReceivers := flag.Bool("all-receivers", false, "record the streams of every rank instead of only the typical receiver")
-	noiseless := flag.Bool("noiseless", false, "disable network jitter and load imbalance")
-	list := flag.Bool("list", false, "list the available workloads and exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: it parses args, simulates and
+// writes the requested outputs to the given streams.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("workload", "bt", "workload name (bt, cg, lu, is, sweep3d)")
+	procs := fs.Int("procs", 4, "number of simulated processes")
+	iterations := fs.Int("iterations", 0, "iteration override (0 = class A default)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	out := fs.String("out", "", "JSONL output file (default: stdout)")
+	binOut := fs.String("o", "", "binary trace output file (.mpt); may be combined with -out")
+	allReceivers := fs.Bool("all-receivers", false, "record the streams of every rank instead of only the typical receiver")
+	noiseless := fs.Bool("noiseless", false, "disable network jitter and load imbalance")
+	list := fs.Bool("list", false, "list the available workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	if *list {
 		for _, info := range workloads.Catalog() {
-			fmt.Printf("%-8s procs=%v iterations=%d  %s\n", info.Name, info.PaperProcs, info.DefaultIterations, info.Description)
+			fmt.Fprintf(stdout, "%-8s procs=%v iterations=%d  %s\n", info.Name, info.PaperProcs, info.DefaultIterations, info.Description)
 		}
-		return
+		return nil
 	}
 
 	net := simnet.DefaultConfig()
@@ -46,20 +71,26 @@ func main() {
 		TraceAllReceivers: *allReceivers,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return err
 	}
 
-	if *out == "" {
-		if err := trace.WriteJSONL(os.Stdout, tr); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+	if *binOut != "" {
+		if err := trace.SaveBinaryFile(*binOut, tr); err != nil {
+			return err
 		}
-		return
+		fmt.Fprintf(stdout, "wrote %d records (%d ranks traced) to %s (binary v%d)\n",
+			tr.Len(), len(tr.Receivers()), *binOut, trace.BinaryVersion)
 	}
-	if err := trace.SaveFile(*out, tr); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+	switch {
+	case *out != "":
+		if err := trace.SaveFile(*out, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d records (%d ranks traced) to %s\n", tr.Len(), len(tr.Receivers()), *out)
+	case *binOut == "":
+		if err := trace.WriteJSONL(stdout, tr); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("wrote %d records (%d ranks traced) to %s\n", tr.Len(), len(tr.Receivers()), *out)
+	return nil
 }

@@ -46,6 +46,11 @@ type Options struct {
 	// are deterministic); it exists for cold-path measurements and for
 	// tests that must exercise the full pipeline.
 	NoCache bool
+	// Cache, when non-nil, supplies simulated traces instead of the
+	// process-wide tracecache.Shared. The CLIs pass a disk-backed cache
+	// (tracecache.NewDisk) here so the evaluation grid survives process
+	// restarts. Ignored when NoCache is set.
+	Cache *tracecache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -95,10 +100,14 @@ func getTrace(rc workloads.RunConfig, cache *tracecache.Cache) (*trace.Trace, er
 }
 
 // optsCache resolves the cache implied by the options alone: nil when
-// caching is disabled, the shared cache otherwise.
+// caching is disabled, the explicitly supplied cache when there is one,
+// the shared cache otherwise.
 func optsCache(opts Options) *tracecache.Cache {
 	if opts.NoCache {
 		return nil
+	}
+	if opts.Cache != nil {
+		return opts.Cache
 	}
 	return tracecache.Shared
 }

@@ -56,23 +56,34 @@ func table1SingleCached(spec workloads.Spec, opts Options, cache *tracecache.Cac
 	if err != nil {
 		return Table1Row{}, err
 	}
+	return Table1RowFromTrace(tr, receiver), nil
+}
+
+// Table1RowFromTrace characterises one receiver of an existing trace as a
+// Table 1 row, attaching the paper's reference values when the trace's
+// (app, procs) pair appears in the paper. It is the replay-path sibling of
+// Table1Single: the CLIs use it to reproduce Table 1 rows from traces
+// loaded from disk, and because it only reads the trace, a replayed row is
+// identical to the row the in-memory simulation path produces for the same
+// trace.
+func Table1RowFromTrace(tr *trace.Trace, receiver int) Table1Row {
 	c := tr.Characterize(receiver, trace.Logical, 0.99)
 	row := Table1Row{
-		App:      spec.Name,
-		Procs:    spec.Procs,
+		App:      tr.App,
+		Procs:    tr.Procs,
 		Receiver: receiver,
 		P2PMsgs:  c.P2PMsgs,
 		CollMsgs: c.CollMsgs,
 		MsgSizes: c.MsgSizes,
 		Senders:  c.Senders,
 	}
-	if ref, ok := PaperTable1[table1Key{spec.Name, spec.Procs}]; ok {
+	if ref, ok := PaperTable1[table1Key{tr.App, tr.Procs}]; ok {
 		row.PaperP2P = ref.P2P
 		row.PaperColl = ref.Coll
 		row.PaperSizes = ref.Sizes
 		row.PaperSend = ref.Senders
 	}
-	return row, nil
+	return row
 }
 
 // Table1P2PRelativeError returns the mean relative error of the

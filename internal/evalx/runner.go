@@ -41,9 +41,9 @@ func (r *Runner) workers() int {
 	return r.Parallelism
 }
 
-// cache resolves the trace cache to use for one invocation: nil (direct
-// simulation) when the options disable caching, otherwise the runner's
-// cache or the shared one.
+// cache resolves the trace cache to use for one invocation: the runner's
+// own cache when it has one, otherwise whatever the options imply (nil
+// for NoCache, an explicitly supplied cache, or the shared one).
 func (r *Runner) cache(opts Options) *tracecache.Cache {
 	if opts.NoCache {
 		return nil
@@ -51,7 +51,7 @@ func (r *Runner) cache(opts Options) *tracecache.Cache {
 	if r != nil && r.Cache != nil {
 		return r.Cache
 	}
-	return tracecache.Shared
+	return optsCache(opts)
 }
 
 // forEachIndexed runs fn(0..n-1) over at most `workers` goroutines and

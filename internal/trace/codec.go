@@ -1,0 +1,507 @@
+package trace
+
+// This file implements the persistent binary trace format (".mpt"). The
+// JSONL format of io.go stays the human-inspectable interchange form; the
+// binary codec is the storage form used by the disk tier of the trace
+// cache and by the CLI export/replay path, where compactness and integrity
+// checking matter more than greppability.
+//
+// Layout (all multi-byte integers are unsigned or zig-zag varints in the
+// encoding of encoding/binary; "uvarint" and "varint" below refer to
+// binary.PutUvarint and binary.PutVarint respectively):
+//
+//	magic   [4]byte  "MPT\x01"
+//	version uvarint  (currently 1)
+//	app     uvarint length + UTF-8 bytes
+//	procs   varint
+//	items:  a sequence of tagged items, each introduced by one tag byte
+//	  tagOpDef  (0x02): uvarint length + bytes — appends one operation
+//	                    name to the op table; ops are interned so each
+//	                    distinct name is written once
+//	  tagRecord (0x01): varint receiver, varint level, varint kind,
+//	                    varint sender, varint size, varint tag,
+//	                    uvarint op-table index,
+//	                    uvarint IEEE-754 bits of the time field
+//	  tagEnd    (0x00): uvarint record count, then the trailer
+//	trailer [4]byte  little-endian CRC-32 (IEEE) of every byte from the
+//	                 magic through the record count inclusive
+//
+// The format is self-describing (the op table is built inline as names
+// first appear) and streamable in both directions: the Writer never
+// buffers more than one record and the Reader needs no length prefix.
+// Records do not carry their Seq numbers; they are reassigned on decode
+// from stream order, which round-trips exactly for traces grown through
+// Append (the only supported way to build one).
+//
+// Compatibility policy: the magic pins the file family; the version is
+// bumped on any incompatible change to the item or trailer layout, and
+// readers reject versions they do not know. Unknown tag bytes are errors,
+// not extension points — extensions get a new version.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// binaryMagic introduces every binary trace file.
+var binaryMagic = [4]byte{'M', 'P', 'T', 0x01}
+
+// BinaryVersion is the current version of the binary trace format.
+const BinaryVersion = 1
+
+const (
+	tagEnd    = 0x00
+	tagRecord = 0x01
+	tagOpDef  = 0x02
+)
+
+// maxStringLen bounds the app and op names a reader will allocate for, so
+// a corrupt or adversarial length prefix cannot force a huge allocation.
+const maxStringLen = 1 << 16
+
+// ErrCorrupt is wrapped by every decoding error: malformed, truncated or
+// bit-flipped input, and also read failures from the underlying reader
+// (mid-stream, the two are indistinguishable — a short read and a
+// truncated file look identical). Callers that must treat transient I/O
+// differently should make the source reliable (e.g. read into memory)
+// before decoding.
+var ErrCorrupt = errors.New("corrupt binary trace")
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// Writer streams a trace to an io.Writer in the binary format. Records are
+// written one at a time; Close writes the trailer. The Writer buffers
+// internally, so the underlying writer need not be buffered.
+type Writer struct {
+	bw     *bufio.Writer
+	crc    uint32
+	ops    map[string]uint64
+	count  uint64
+	buf    [binary.MaxVarintLen64]byte
+	closed bool
+	err    error
+}
+
+// NewWriter writes the file header for a trace with the given metadata and
+// returns a Writer ready to accept records.
+func NewWriter(w io.Writer, app string, procs int) (*Writer, error) {
+	bw := &Writer{bw: bufio.NewWriter(w), ops: make(map[string]uint64)}
+	bw.write(binaryMagic[:])
+	bw.writeUvarint(BinaryVersion)
+	bw.writeString(app)
+	bw.writeVarint(int64(procs))
+	if bw.err != nil {
+		return nil, bw.err
+	}
+	return bw, nil
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	w.crc = crc32.Update(w.crc, crcTable, p)
+	_, w.err = w.bw.Write(p)
+}
+
+func (w *Writer) writeByte(b byte) { w.write([]byte{b}) }
+
+func (w *Writer) writeUvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+func (w *Writer) writeVarint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+func (w *Writer) writeString(s string) {
+	if len(s) > maxStringLen {
+		w.err = fmt.Errorf("trace: string of %d bytes exceeds the format limit %d", len(s), maxStringLen)
+		return
+	}
+	w.writeUvarint(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+// WriteRecord appends one record to the stream. The record's Seq is not
+// stored; decode order reproduces it.
+func (w *Writer) WriteRecord(r Record) error {
+	if w.closed {
+		return errors.New("trace: writer already closed")
+	}
+	if w.err != nil {
+		return w.err
+	}
+	op, ok := w.ops[r.Op]
+	if !ok {
+		op = uint64(len(w.ops))
+		w.ops[r.Op] = op
+		w.writeByte(tagOpDef)
+		w.writeString(r.Op)
+	}
+	w.writeByte(tagRecord)
+	w.writeVarint(int64(r.Receiver))
+	w.writeVarint(int64(r.Level))
+	w.writeVarint(int64(r.Kind))
+	w.writeVarint(int64(r.Sender))
+	w.writeVarint(r.Size)
+	w.writeVarint(int64(r.Tag))
+	w.writeUvarint(op)
+	w.writeUvarint(math.Float64bits(r.Time))
+	w.count++
+	return w.err
+}
+
+// Close writes the end marker and integrity trailer and flushes the
+// buffer. It does not close the underlying writer. The Writer must not be
+// used afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return errors.New("trace: writer already closed")
+	}
+	w.closed = true
+	if w.err != nil {
+		return w.err
+	}
+	w.writeByte(tagEnd)
+	w.writeUvarint(w.count)
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], w.crc)
+	if w.err == nil {
+		if _, err := w.bw.Write(trailer[:]); err != nil {
+			w.err = err
+		}
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader streams a trace from an io.Reader in the binary format. The
+// header is consumed by NewReader; Read returns records until io.EOF,
+// which is only delivered after the trailer has been verified.
+type Reader struct {
+	br      *bufio.Reader
+	crc     uint32
+	app     string
+	procs   int
+	version int
+	ops     []string
+	count   uint64
+	done    bool
+	err     error
+}
+
+// NewReader consumes the header and returns a Reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := &Reader{br: bufio.NewReader(r)}
+	var magic [4]byte
+	if err := br.readFull(magic[:]); err != nil {
+		return nil, corruptf("reading magic: %v", err)
+	}
+	if magic != binaryMagic {
+		return nil, corruptf("bad magic %q", magic[:])
+	}
+	version, err := br.readUvarint()
+	if err != nil {
+		return nil, corruptf("reading version: %v", err)
+	}
+	if version != BinaryVersion {
+		return nil, corruptf("unsupported version %d (have %d)", version, BinaryVersion)
+	}
+	br.version = int(version)
+	app, err := br.readString()
+	if err != nil {
+		return nil, corruptf("reading app name: %v", err)
+	}
+	br.app = app
+	procs, err := br.readVarint()
+	if err != nil {
+		return nil, corruptf("reading procs: %v", err)
+	}
+	br.procs = int(procs)
+	return br, nil
+}
+
+// App returns the workload name from the header.
+func (r *Reader) App() string { return r.app }
+
+// Procs returns the rank count from the header.
+func (r *Reader) Procs() int { return r.procs }
+
+// Version returns the format version of the file being read.
+func (r *Reader) Version() int { return r.version }
+
+// ReadByte satisfies io.ByteReader for binary.ReadUvarint while keeping
+// the integrity checksum in sync with every byte consumed.
+func (r *Reader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	r.crc = crc32.Update(r.crc, crcTable, []byte{b})
+	return b, nil
+}
+
+func (r *Reader) readFull(p []byte) error {
+	if _, err := io.ReadFull(r.br, p); err != nil {
+		return err
+	}
+	r.crc = crc32.Update(r.crc, crcTable, p)
+	return nil
+}
+
+func (r *Reader) readUvarint() (uint64, error) { return binary.ReadUvarint(r) }
+
+func (r *Reader) readVarint() (int64, error) { return binary.ReadVarint(r) }
+
+func (r *Reader) readString() (string, error) {
+	n, err := r.readUvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("string length %d exceeds the format limit %d", n, maxStringLen)
+	}
+	buf := make([]byte, n)
+	if err := r.readFull(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Read returns the next record. After the last record it verifies the
+// trailer and returns io.EOF; any malformation, truncation or checksum
+// mismatch yields an error wrapping ErrCorrupt instead.
+func (r *Reader) Read() (Record, error) {
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	if r.done {
+		return Record{}, io.EOF
+	}
+	rec, err := r.read()
+	if err != nil {
+		r.err = err
+		if err == io.EOF {
+			r.done = true
+			r.err = nil
+		}
+	}
+	return rec, err
+}
+
+func (r *Reader) read() (Record, error) {
+	for {
+		tag, err := r.ReadByte()
+		if err != nil {
+			return Record{}, corruptf("reading item tag: %v", err)
+		}
+		switch tag {
+		case tagOpDef:
+			op, err := r.readString()
+			if err != nil {
+				return Record{}, corruptf("reading op definition: %v", err)
+			}
+			r.ops = append(r.ops, op)
+		case tagRecord:
+			rec, err := r.readRecord()
+			if err != nil {
+				return Record{}, err
+			}
+			r.count++
+			return rec, nil
+		case tagEnd:
+			return Record{}, r.readTrailer()
+		default:
+			return Record{}, corruptf("unknown item tag 0x%02x", tag)
+		}
+	}
+}
+
+func (r *Reader) readRecord() (Record, error) {
+	// Straight-line field reads: this is the disk-cache promotion and
+	// replay hot path, so no per-record closures or reflection.
+	var rec Record
+	v, err := r.readVarint()
+	if err != nil {
+		return Record{}, corruptf("reading record receiver: %v", err)
+	}
+	rec.Receiver = int(v)
+	if v, err = r.readVarint(); err != nil {
+		return Record{}, corruptf("reading record level: %v", err)
+	}
+	rec.Level = Level(v)
+	if v, err = r.readVarint(); err != nil {
+		return Record{}, corruptf("reading record kind: %v", err)
+	}
+	rec.Kind = Kind(v)
+	if v, err = r.readVarint(); err != nil {
+		return Record{}, corruptf("reading record sender: %v", err)
+	}
+	rec.Sender = int(v)
+	if v, err = r.readVarint(); err != nil {
+		return Record{}, corruptf("reading record size: %v", err)
+	}
+	rec.Size = v
+	if v, err = r.readVarint(); err != nil {
+		return Record{}, corruptf("reading record tag: %v", err)
+	}
+	rec.Tag = int(v)
+	op, err := r.readUvarint()
+	if err != nil {
+		return Record{}, corruptf("reading record op index: %v", err)
+	}
+	if op >= uint64(len(r.ops)) {
+		return Record{}, corruptf("op index %d outside table of %d entries", op, len(r.ops))
+	}
+	rec.Op = r.ops[op]
+	bits, err := r.readUvarint()
+	if err != nil {
+		return Record{}, corruptf("reading record time: %v", err)
+	}
+	rec.Time = math.Float64frombits(bits)
+	return rec, nil
+}
+
+// readTrailer validates the record count and checksum; on success it
+// returns io.EOF, the stream's normal termination.
+func (r *Reader) readTrailer() error {
+	count, err := r.readUvarint()
+	if err != nil {
+		return corruptf("reading record count: %v", err)
+	}
+	if count != r.count {
+		return corruptf("record count %d does not match %d records read", count, r.count)
+	}
+	want := r.crc // everything up to and including the count
+	var trailer [4]byte
+	if _, err := io.ReadFull(r.br, trailer[:]); err != nil {
+		return corruptf("reading checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != want {
+		return corruptf("checksum mismatch: file says %08x, content hashes to %08x", got, want)
+	}
+	return io.EOF
+}
+
+func corruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("trace: %w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// WriteBinary writes the whole trace to w in the binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw, err := NewWriter(w, t.App, t.Procs)
+	if err != nil {
+		return err
+	}
+	for i := range t.Records {
+		if err := bw.WriteRecord(t.Records[i]); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", i, err)
+		}
+	}
+	return bw.Close()
+}
+
+// ReadBinary reads a complete trace previously written by WriteBinary. Seq
+// numbers are reassigned from stream order, exactly as ReadJSONL does.
+// Unlike the streaming Reader — which stops at the trailer and leaves the
+// source positioned after it, so framed streams can carry several traces —
+// ReadBinary expects the trace to be the whole input and rejects trailing
+// bytes: for a file, leftover data means a botched concatenation or a
+// partial overwrite.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := New(br.App(), br.Procs())
+	for {
+		rec, err := br.Read()
+		if err == io.EOF {
+			if _, err := br.br.ReadByte(); err != io.EOF {
+				return nil, corruptf("trailing data after the trace trailer")
+			}
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Append(rec)
+	}
+}
+
+// SaveBinaryFile writes the trace to the named file in the binary format,
+// creating or replacing it. The write is atomic (temp file in the same
+// directory + rename), so a failure partway — full disk, killed process —
+// never leaves a truncated file behind or clobbers a previous good export.
+func SaveBinaryFile(path string, t *Trace) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("trace: creating temp file in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	if err := WriteBinary(f, t); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: replacing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadBinaryFile reads a binary trace from the named file.
+func LoadBinaryFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	tr, err := ReadBinary(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading %s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// Load reads a trace from the named file in either supported format,
+// sniffing the binary magic to decide.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading %s: %w", path, corruptf("file too short: %v", err))
+	}
+	if [4]byte(head) == binaryMagic {
+		tr, err := ReadBinary(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading %s: %w", path, err)
+		}
+		return tr, nil
+	}
+	return ReadJSONL(br)
+}

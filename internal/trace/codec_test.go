@@ -1,0 +1,355 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// arbitraryTrace builds an arbitrary (but deterministic for a given seed)
+// trace through Append, the only supported growth path.
+func arbitraryTrace(rng *rand.Rand, records int) *Trace {
+	apps := []string{"bt", "cg", "lu", "is", "sweep3d", "", "external/app with spaces"}
+	ops := []string{"send", "isend", "bcast", "allreduce", "alltoall", "reduce", "", "custom-op"}
+	t := New(apps[rng.Intn(len(apps))], rng.Intn(64)+1)
+	for i := 0; i < records; i++ {
+		t.Append(Record{
+			Time:     rng.NormFloat64() * 1e6,
+			Receiver: rng.Intn(32),
+			Sender:   rng.Intn(32),
+			Size:     int64(rng.Intn(1 << 20)),
+			Tag:      rng.Intn(1000) - 500,
+			Kind:     Kind(rng.Intn(2)),
+			Op:       ops[rng.Intn(len(ops))],
+			Level:    Level(rng.Intn(2)),
+		})
+	}
+	return t
+}
+
+// tracesEqual compares the exported state of two traces (the unexported
+// index fields are lazily built caches and must not influence equality).
+func tracesEqual(a, b *Trace) bool {
+	if a.App != b.App || a.Procs != b.Procs || len(a.Records) != len(b.Records) {
+		return false
+	}
+	if len(a.Records) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a.Records, b.Records)
+}
+
+func encodeBinary(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := arbitraryTrace(rng, rng.Intn(300))
+		data := encodeBinary(t, tr)
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("seed %d: ReadBinary: %v", seed, err)
+		}
+		if !tracesEqual(tr, got) {
+			t.Fatalf("seed %d: decode(encode(t)) != t\nwant %d records, got %d", seed, len(tr.Records), len(got.Records))
+		}
+	}
+}
+
+func TestBinaryRoundTripEmptyTrace(t *testing.T) {
+	tr := New("bt", 4)
+	got, err := ReadBinary(bytes.NewReader(encodeBinary(t, tr)))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Errorf("empty trace did not round-trip: got %+v", got)
+	}
+}
+
+func TestBinaryRoundTripExtremeValues(t *testing.T) {
+	tr := New("x", 1<<30)
+	tr.Append(Record{Time: math.Inf(1), Receiver: -1, Sender: math.MaxInt32, Size: math.MaxInt64, Tag: math.MinInt32, Op: strings.Repeat("o", maxStringLen)})
+	tr.Append(Record{Time: math.Inf(-1), Size: -1})
+	nan := Record{Time: math.NaN(), Op: "send"}
+	tr.Append(nan)
+	got, err := ReadBinary(bytes.NewReader(encodeBinary(t, tr)))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	// NaN != NaN breaks DeepEqual; check the bits, then patch for the rest.
+	if !math.IsNaN(got.Records[2].Time) {
+		t.Errorf("NaN time decoded as %v", got.Records[2].Time)
+	}
+	got.Records[2].Time = 0
+	tr.Records[2].Time = 0
+	if !tracesEqual(tr, got) {
+		t.Error("extreme-value trace did not round-trip")
+	}
+}
+
+func TestBinaryOpTableInternsNames(t *testing.T) {
+	tr := New("bt", 4)
+	for i := 0; i < 1000; i++ {
+		tr.Append(Record{Op: "send", Sender: i % 4})
+	}
+	data := encodeBinary(t, tr)
+	// "send" must appear exactly once in the encoding.
+	if n := bytes.Count(data, []byte("send")); n != 1 {
+		t.Errorf("op name appears %d times in the encoding, want 1 (interned)", n)
+	}
+	if len(data) > 1000*12 {
+		t.Errorf("encoding of 1000 tiny records is %d bytes; expected a compact varint stream", len(data))
+	}
+}
+
+func TestBinaryRejectsEveryTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := encodeBinary(t, arbitraryTrace(rng, 20))
+	for n := 0; n < len(data); n++ {
+		if _, err := ReadBinary(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded without error", n, len(data))
+		}
+	}
+}
+
+func TestBinaryRejectsEverySingleByteFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	data := encodeBinary(t, arbitraryTrace(rng, 15))
+	for i := range data {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0xff
+		if _, err := ReadBinary(bytes.NewReader(mutated)); err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected (CRC must catch every corruption)", i, len(data))
+		}
+	}
+}
+
+func TestBinaryRejectsTrailingRecordAfterEnd(t *testing.T) {
+	// Append a fully valid extra item after the trailer's CRC; the reader
+	// must stop at the trailer (io.EOF), not read past it.
+	tr := New("bt", 2)
+	tr.Append(Record{Op: "send"})
+	data := encodeBinary(t, tr)
+	r, err := NewReader(bytes.NewReader(append(data, data...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 1 {
+		t.Errorf("read %d records, want 1 (reader must stop at the trailer)", n)
+	}
+
+	// The whole-input decoder, by contrast, must reject the same data:
+	// for a file, trailing bytes mean concatenation or partial overwrite.
+	if _, err := ReadBinary(bytes.NewReader(append(data, data...))); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ReadBinary accepted trailing data: %v", err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(append(data, 0x00))); err == nil {
+		t.Error("ReadBinary accepted a single trailing byte")
+	}
+}
+
+func TestBinaryRejectsWrongMagicAndVersion(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("JSON{}\n"))); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("wrong magic: got %v, want ErrCorrupt", err)
+	}
+	// Patch the version varint (first byte after the 4-byte magic).
+	data := encodeBinary(t, New("bt", 4))
+	data[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version: got %v, want a version error", err)
+	}
+}
+
+func TestBinaryErrorsWrapErrCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	data := encodeBinary(t, arbitraryTrace(rng, 5))
+	for _, n := range []int{0, 3, len(data) / 2, len(data) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(data[:n])); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation to %d bytes: error %v does not wrap ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestStreamingReaderHeaderAccessors(t *testing.T) {
+	tr := New("sweep3d", 6)
+	tr.Append(Record{Op: "send", Sender: 1, Receiver: 2})
+	r, err := NewReader(bytes.NewReader(encodeBinary(t, tr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.App() != "sweep3d" || r.Procs() != 6 || r.Version() != BinaryVersion {
+		t.Errorf("header = (%q, %d, v%d), want (sweep3d, 6, v%d)", r.App(), r.Procs(), r.Version(), BinaryVersion)
+	}
+}
+
+func TestSaveLoadBinaryFileAndSniffingLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := arbitraryTrace(rng, 50)
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "t.mpt")
+	if err := SaveBinaryFile(bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := LoadBinaryFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, fromBin) {
+		t.Error("binary file round-trip mismatch")
+	}
+
+	jsonl := filepath.Join(dir, "t.jsonl")
+	if err := SaveFile(jsonl, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{bin, jsonl} {
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		if !tracesEqual(tr, got) {
+			t.Errorf("Load(%s) mismatch", path)
+		}
+	}
+}
+
+func TestSaveBinaryFileIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.mpt")
+	good := New("bt", 4)
+	good.Append(Record{Op: "send"})
+	if err := SaveBinaryFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// A trace the writer rejects mid-stream (oversized op name) must
+	// neither clobber the existing good file nor leave temp debris.
+	bad := New("bt", 4)
+	bad.Append(Record{Op: strings.Repeat("x", maxStringLen+1)})
+	if err := SaveBinaryFile(path, bad); err == nil {
+		t.Fatal("expected an error for an unencodable trace")
+	}
+	restored, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatalf("previous good file was damaged: %v", err)
+	}
+	if !tracesEqual(good, restored) {
+		t.Error("previous good file was replaced by a failed save")
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if len(leftovers) != 0 {
+		t.Errorf("failed save left temp files: %v", leftovers)
+	}
+}
+
+func TestBinaryMatchesJSONLSemantics(t *testing.T) {
+	// Both codecs must reproduce identical traces from the same source.
+	rng := rand.New(rand.NewSource(9))
+	tr := arbitraryTrace(rng, 80)
+	var jb, bb bytes.Buffer
+	if err := WriteJSONL(&jb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bb, tr); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadJSONL(&jb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ReadBinary(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(fromJSON, fromBin) {
+		t.Error("binary and JSONL decoders disagree on the same trace")
+	}
+}
+
+func TestWriterRefusesUseAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "bt", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(Record{}); err == nil {
+		t.Error("WriteRecord after Close must error")
+	}
+	if err := w.Close(); err == nil {
+		t.Error("double Close must error")
+	}
+}
+
+// FuzzTraceCodec exercises the decoder on arbitrary input: it must never
+// panic, and anything it accepts must re-encode and re-decode to the same
+// trace (decode/encode stability).
+func FuzzTraceCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MPT"))
+	f.Add(binaryMagic[:])
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := arbitraryTrace(rng, 1+rng.Intn(20))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 8 {
+			f.Add(buf.Bytes()[:buf.Len()/2]) // truncated
+			mutated := append([]byte(nil), buf.Bytes()...)
+			mutated[buf.Len()/3] ^= 0x40 // bit-flipped
+			f.Add(mutated)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatalf("re-encoding an accepted trace failed: %v", err)
+		}
+		again, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding our own encoding failed: %v", err)
+		}
+		if tr.App != again.App || tr.Procs != again.Procs || len(tr.Records) != len(again.Records) {
+			t.Fatalf("decode/encode/decode drifted: (%q,%d,%d) vs (%q,%d,%d)",
+				tr.App, tr.Procs, len(tr.Records), again.App, again.Procs, len(again.Records))
+		}
+	})
+}

@@ -14,6 +14,12 @@
 // of the parallel experiment runner ask for the same spec at once, exactly
 // one simulates and the rest wait for its result.
 //
+// A cache built with NewDisk adds a second, persistent tier: simulated
+// traces are written as content-addressed files in the binary trace format
+// (internal/trace codec.go) under the cache directory, and later runs —
+// including runs in fresh processes — promote entries from disk instead of
+// re-simulating. See disk.go for the layout and the corruption story.
+//
 // Cached traces are shared: callers must treat them as read-only (which
 // every consumer in this repository does — trace.Trace's stream index makes
 // concurrent reads safe). Callers that need a private mutable trace should
@@ -86,12 +92,18 @@ func KeyFor(rc workloads.RunConfig) (Key, error) {
 	}, nil
 }
 
-// Stats counts what happened to a cache over its lifetime.
+// Stats counts what happened to a cache over its lifetime. Misses counts
+// actual simulator invocations: a Get answered by the disk tier increments
+// DiskHits instead, so Misses == 0 over a run proves the run needed no
+// simulation at all.
 type Stats struct {
-	Hits      int64 // Get calls answered from a completed entry
-	Misses    int64 // Get calls that ran the simulation
-	Coalesced int64 // Get calls that waited on another caller's simulation
-	Entries   int   // entries currently cached
+	Hits       int64 // Get calls answered from a completed memory entry
+	Misses     int64 // Get calls that ran the simulation
+	Coalesced  int64 // Get calls that waited on another caller's fill
+	DiskHits   int64 // entries promoted from the disk tier into memory
+	DiskWrites int64 // fresh simulations persisted to the disk tier
+	DiskErrors int64 // corrupt/unreadable/unwritable disk entries (recovered)
+	Entries    int   // entries currently cached in memory
 }
 
 // entry is one in-flight or completed simulation.
@@ -102,17 +114,33 @@ type entry struct {
 }
 
 // Cache memoises workload simulations. The zero value is not usable; use
-// New. A single Cache may be used from any number of goroutines.
+// New or NewDisk. A single Cache may be used from any number of
+// goroutines.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*entry
 	stats   Stats
+	// dir, when non-empty, backs the memory tier with content-addressed
+	// trace files (see disk.go). The memory tier promotes from disk on a
+	// miss and writes through to disk after simulating.
+	dir string
 }
 
-// New returns an empty cache.
+// New returns an empty memory-only cache.
 func New() *Cache {
 	return &Cache{entries: make(map[Key]*entry)}
 }
+
+// NewDisk returns a cache whose memory tier is backed by trace files under
+// dir. The directory is created on first write; an existing directory
+// warms the cache across process restarts. Several caches (in the same or
+// different processes) may safely share one directory.
+func NewDisk(dir string) *Cache {
+	return &Cache{entries: make(map[Key]*entry), dir: dir}
+}
+
+// Dir returns the disk-tier directory, or "" for a memory-only cache.
+func (c *Cache) Dir() string { return c.dir }
 
 // Shared is the process-wide cache used by the evaluation harness by
 // default. The paper grid is small (a few dozen configurations), so the
@@ -120,10 +148,12 @@ func New() *Cache {
 // Clear it between sweeps or use a private Cache.
 var Shared = New()
 
-// Get returns the trace for the given run configuration, simulating it at
-// most once per key. Concurrent calls for the same key block until the
-// single simulation finishes and then share its result. Errors are cached
-// too: a failing configuration fails the same way for every caller.
+// Get returns the trace for the given run configuration, filling the entry
+// at most once per key: from the disk tier when the cache has one and the
+// entry is present there, from the simulator otherwise. Concurrent calls
+// for the same key block until the single fill finishes and then share its
+// result. Errors are cached too: a failing configuration fails the same
+// way for every caller.
 func (c *Cache) Get(rc workloads.RunConfig) (*trace.Trace, error) {
 	key, err := KeyFor(rc)
 	if err != nil {
@@ -143,10 +173,9 @@ func (c *Cache) Get(rc workloads.RunConfig) (*trace.Trace, error) {
 	}
 	e := &entry{done: make(chan struct{})}
 	c.entries[key] = e
-	c.stats.Misses++
 	c.mu.Unlock()
 
-	e.tr, e.err = workloads.Run(rc)
+	e.tr, e.err = c.fill(key, func() (*trace.Trace, error) { return workloads.Run(rc) })
 	close(e.done)
 	return e.tr, e.err
 }

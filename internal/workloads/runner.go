@@ -65,3 +65,29 @@ func Run(rc RunConfig) (*trace.Trace, error) {
 	}
 	return tr, nil
 }
+
+// ReplayReceiver picks the receiver to evaluate when replaying a trace
+// loaded from disk: the workload's typical receiver when the trace's app
+// is in the catalog and that rank was traced, otherwise the trace's sole
+// traced receiver. Traces of unknown applications with several traced
+// receivers are ambiguous and rejected — the caller must choose.
+func ReplayReceiver(tr *trace.Trace) (int, error) {
+	receivers := tr.Receivers()
+	if len(receivers) == 0 {
+		return 0, fmt.Errorf("workloads: trace %q holds no receive events", tr.App)
+	}
+	if _, err := Lookup(tr.App); err == nil {
+		if typical, err := TypicalReceiver(tr.App, tr.Procs); err == nil {
+			for _, r := range receivers {
+				if r == typical {
+					return typical, nil
+				}
+			}
+		}
+	}
+	if len(receivers) == 1 {
+		return receivers[0], nil
+	}
+	return 0, fmt.Errorf("workloads: trace %q has %d traced receivers %v and no recognisable typical one; pick a receiver explicitly",
+		tr.App, len(receivers), receivers)
+}
