@@ -257,3 +257,33 @@ func BenchmarkAblationLockPolicy(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServeObserve measures the online prediction service's full
+// HTTP observe path (request parse, sharded registry routing, two
+// predictor observes, response encode) in single-event steady state —
+// the daemon's hot path under live traffic.
+func BenchmarkServeObserve(b *testing.B) {
+	env := benchdefs.NewServeBenchEnv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.ObserveHTTP(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportThroughput(b)
+}
+
+// BenchmarkServePredict measures the full HTTP predict path at the
+// paper's +1..+5 horizon against a locked session.
+func BenchmarkServePredict(b *testing.B) {
+	env := benchdefs.NewServeBenchEnv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.PredictHTTP(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportThroughput(b)
+}

@@ -14,13 +14,16 @@
 // The cached benchmarks are warmed first (one full sweep populates the
 // shared trace cache), so their numbers report the steady-state cost of
 // regenerating a table or figure; the *-cold-serial entries measure the
-// uncached, single-worker pipeline for comparison.
+// uncached, single-worker pipeline for comparison. The serve-* entries
+// measure the online prediction service's observe/predict paths.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -32,10 +35,12 @@ import (
 	"mpipredict/internal/benchdefs"
 )
 
-// entry is one named benchmark.
+// entry is one named benchmark. Cached marks benchmarks that read the
+// shared trace cache and therefore want it warmed before measuring.
 type entry struct {
-	Name string
-	Fn   func(b *testing.B)
+	Name   string
+	Cached bool
+	Fn     func(b *testing.B)
 }
 
 // result is the JSON record for one benchmark.
@@ -67,7 +72,7 @@ func reportMetrics(b *testing.B, metrics map[string]float64) {
 // so the JSON snapshots always measure what `go test -bench .` measures.
 func benchmarks() []entry {
 	return []entry{
-		{"table1", func(b *testing.B) {
+		{"table1", true, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m, err := benchdefs.Table1Metrics(benchdefs.Opts())
 				if err != nil {
@@ -76,7 +81,7 @@ func benchmarks() []entry {
 				reportMetrics(b, m)
 			}
 		}},
-		{"figure1", func(b *testing.B) {
+		{"figure1", true, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m, err := benchdefs.Figure1Metrics(benchdefs.Opts())
 				if err != nil {
@@ -85,7 +90,7 @@ func benchmarks() []entry {
 				reportMetrics(b, m)
 			}
 		}},
-		{"figure2", func(b *testing.B) {
+		{"figure2", true, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				m, err := benchdefs.Figure2Metrics(benchdefs.Opts())
 				if err != nil {
@@ -94,7 +99,7 @@ func benchmarks() []entry {
 				reportMetrics(b, m)
 			}
 		}},
-		{"figures34", func(b *testing.B) {
+		{"figures34", true, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				logical, physical, err := benchdefs.Figures34(benchdefs.Opts())
 				if err != nil {
@@ -104,7 +109,7 @@ func benchmarks() []entry {
 				reportMetrics(b, benchdefs.Figure4PhysicalMetrics(physical))
 			}
 		}},
-		{"figure3-cold-serial", func(b *testing.B) {
+		{"figure3-cold-serial", false, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				logical, _, err := benchdefs.Figures34(benchdefs.ColdSerialOpts())
 				if err != nil {
@@ -113,9 +118,49 @@ func benchmarks() []entry {
 				reportMetrics(b, benchdefs.Figure3LogicalMetrics(logical))
 			}
 		}},
+		{"serve-observe", false, func(b *testing.B) {
+			env := benchdefs.NewServeBenchEnv()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.ObserveHTTP(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportThroughput(b)
+		}},
+		{"serve-observe-batch", false, func(b *testing.B) {
+			env := benchdefs.NewServeBenchEnv()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.ObserveBatchHTTP(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportBatchThroughput(b)
+		}},
+		{"serve-predict", false, func(b *testing.B) {
+			env := benchdefs.NewServeBenchEnv()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.PredictHTTP(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportThroughput(b)
+		}},
+		{"serve-registry-observe", false, func(b *testing.B) {
+			env := benchdefs.NewServeBenchEnv()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.ObserveDirect(i)
+			}
+			benchdefs.ReportThroughput(b)
+		}},
 	}
 }
 
+// nextFreePath returns the first BENCH_<n>.json (n = 1, 2, ...) that does
+// not exist yet in the current directory.
 func nextFreePath() string {
 	for n := 1; ; n++ {
 		path := fmt.Sprintf("BENCH_%d.json", n)
@@ -126,17 +171,35 @@ func nextFreePath() string {
 }
 
 func main() {
-	out := flag.String("out", "", "output path (default: next free BENCH_<n>.json)")
-	pattern := flag.String("run", "", "only run benchmarks whose name matches this regexp")
-	list := flag.Bool("list", false, "list benchmark names and exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "", "output path (default: next free BENCH_<n>.json)")
+	pattern := fs.String("run", "", "only run benchmarks whose name matches this regexp")
+	list := fs.Bool("list", false, "list benchmark names and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	all := benchmarks()
 	if *list {
 		for _, e := range all {
-			fmt.Println(e.Name)
+			fmt.Fprintln(stdout, e.Name)
 		}
-		return
+		return nil
 	}
 
 	var re *regexp.Regexp
@@ -144,29 +207,25 @@ func main() {
 		var err error
 		re, err = regexp.Compile(*pattern)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson: bad -run pattern:", err)
-			os.Exit(1)
+			return fmt.Errorf("bad -run pattern: %v", err)
 		}
 	}
+	selected := func(name string) bool { return re == nil || re.MatchString(name) }
 
 	// Warm the shared trace cache so the cached benchmarks report their
 	// steady-state cost rather than a blend of first-run simulation and
-	// cache hits. Skipped when the -run filter selects only the cold
-	// benchmark (or nothing), which would gain nothing from a warm cache.
+	// cache hits. Skipped when the -run filter selects only benchmarks
+	// that would gain nothing from a warm cache (the cold-serial pipeline
+	// and the serve paths, which never touch the simulator).
 	warmNeeded := false
 	for _, e := range all {
-		if re != nil && !re.MatchString(e.Name) {
-			continue
-		}
-		if e.Name != "figure3-cold-serial" {
+		if e.Cached && selected(e.Name) {
 			warmNeeded = true
-			break
 		}
 	}
 	if warmNeeded {
 		if _, _, err := benchdefs.Figures34(benchdefs.Opts()); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson: cache warm-up failed:", err)
-			os.Exit(1)
+			return fmt.Errorf("cache warm-up failed: %v", err)
 		}
 	}
 
@@ -176,10 +235,10 @@ func main() {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 	for _, e := range all {
-		if re != nil && !re.MatchString(e.Name) {
+		if !selected(e.Name) {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", e.Name)
+		fmt.Fprintf(stderr, "benchjson: running %s...\n", e.Name)
 		r := testing.Benchmark(e.Fn)
 		res := result{
 			Name:        e.Name,
@@ -204,17 +263,17 @@ func main() {
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); filepath.Dir(path) != "." && err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Println(path)
+	fmt.Fprintln(stdout, path)
+	return nil
 }

@@ -134,10 +134,7 @@ func printCacheStats(w io.Writer, c *tracecache.Cache, before tracecache.Stats) 
 		fmt.Fprintln(w, "cache: disabled (-nocache)")
 		return
 	}
-	s := c.Stats()
-	fmt.Fprintf(w, "cache: simulations=%d disk-hits=%d disk-writes=%d disk-errors=%d mem-hits=%d coalesced=%d entries=%d\n",
-		s.Misses-before.Misses, s.DiskHits-before.DiskHits, s.DiskWrites-before.DiskWrites,
-		s.DiskErrors-before.DiskErrors, s.Hits-before.Hits, s.Coalesced-before.Coalesced, s.Entries)
+	fmt.Fprintf(w, "cache: %s\n", c.Stats().Delta(before))
 }
 
 // runReplay feeds a trace loaded from disk through the evaluation

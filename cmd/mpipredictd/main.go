@@ -1,0 +1,243 @@
+// Command mpipredictd is the online prediction daemon: it hosts prediction
+// sessions behind the HTTP/JSON API of internal/serve, checkpoints learned
+// predictor state to a snapshot file on SIGTERM (and optionally on an
+// interval), and warm-restarts from that snapshot so a restart does not
+// forget the periodicity it learned from live traffic.
+//
+// Usage:
+//
+//	mpipredictd -addr 127.0.0.1:8600 -snapshot state.mps
+//	mpipredictd -addr 127.0.0.1:8600 -snapshot state.mps -snapshot-interval 5m
+//	mpipredictd -replay testdata/corpus/bt.4.mpt                  # serve and self-load
+//	mpipredictd -replay testdata/corpus/bt.4.mpt -target http://127.0.0.1:8600
+//
+// With -target, the daemon acts as a replay client instead: it feeds the
+// trace through the target daemon's observe API (load generation /
+// corpus ingestion) and exits. Without -target but with -replay, it
+// starts serving, replays the trace into itself over loopback HTTP, and
+// keeps serving.
+//
+// The API is documented in the README; briefly: POST /v1/observe ingests
+// batched (sender, size) events for a (tenant, stream) session,
+// GET /v1/predict?tenant=&stream=&k= forecasts the next k messages,
+// GET /v1/sessions lists live sessions, /healthz and /debug/vars expose
+// liveness and expvar-style metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpipredict/internal/serve"
+	"mpipredict/internal/trace"
+)
+
+// onListen, when non-nil, is invoked with the bound address once the
+// daemon is accepting connections. Tests use it to discover -addr :0
+// ports; production leaves it nil.
+var onListen func(addr string)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, sigs); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "mpipredictd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command. It returns when the daemon is
+// shut down by a signal on sigs, or immediately after a client-mode
+// replay.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
+	fset := flag.NewFlagSet("mpipredictd", flag.ContinueOnError)
+	fset.SetOutput(stderr)
+	addr := fset.String("addr", "127.0.0.1:8600", "listen address (host:port; port 0 picks a free port)")
+	snapshotPath := fset.String("snapshot", "", "predictor state snapshot file: loaded at startup when present, written on shutdown")
+	snapshotEvery := fset.Duration("snapshot-interval", 0, "also checkpoint every interval (0 = only on shutdown)")
+	shards := fset.Int("shards", 64, "session registry shards")
+	maxSessions := fset.Int("max-sessions", 65536, "max live sessions before LRU eviction")
+	idleTTL := fset.Duration("idle-ttl", serve.DefaultIdleTTL, "evict sessions idle this long (negative disables)")
+	sweepEvery := fset.Duration("sweep-interval", time.Minute, "how often to sweep idle sessions")
+	replayPath := fset.String("replay", "", "feed this trace file (.mpt or JSONL) through the observe API")
+	target := fset.String("target", "", "with -replay: send to this daemon URL and exit instead of serving")
+	batch := fset.Int("replay-batch", 64, "events per observe request during replay")
+	if err := fset.Parse(args); err != nil {
+		return err
+	}
+	if fset.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fset.Args())
+	}
+	if *replayPath == "" {
+		if *target != "" {
+			return fmt.Errorf("-target requires -replay")
+		}
+		if set := visitSet(fset, "replay-batch"); len(set) > 0 {
+			return fmt.Errorf("%v has no effect without -replay; drop it", set)
+		}
+	}
+	if *target != "" {
+		// Client mode runs no server; silently ignoring server knobs would
+		// let the user believe they took effect.
+		if set := visitSet(fset, "addr", "snapshot", "snapshot-interval", "shards", "max-sessions", "idle-ttl", "sweep-interval"); len(set) > 0 {
+			return fmt.Errorf("%v only affect the server and are ignored with -target; drop them", set)
+		}
+	}
+	if *snapshotEvery < 0 {
+		return fmt.Errorf("-snapshot-interval must not be negative")
+	}
+	if *sweepEvery <= 0 {
+		return fmt.Errorf("-sweep-interval must be positive")
+	}
+
+	var replayTrace *trace.Trace
+	if *replayPath != "" {
+		tr, err := trace.Load(*replayPath)
+		if err != nil {
+			return err
+		}
+		replayTrace = tr
+	}
+	if *target != "" {
+		return runReplayClient(*target, replayTrace, *batch, stdout)
+	}
+
+	reg := serve.NewRegistry(serve.Config{
+		Shards:      *shards,
+		MaxSessions: *maxSessions,
+		IdleTTL:     *idleTTL,
+	})
+	if *snapshotPath != "" {
+		sessions, err := serve.LoadSnapshotFile(*snapshotPath)
+		switch {
+		case err == nil:
+			if err := reg.RestoreSessions(sessions); err != nil {
+				return fmt.Errorf("restoring snapshot %s: %w", *snapshotPath, err)
+			}
+			// Report what actually survived: a registry reconfigured with a
+			// smaller capacity evicts part of a larger snapshot.
+			live := reg.Len()
+			fmt.Fprintf(stdout, "mpipredictd: warm start, restored %d sessions from %s\n", live, *snapshotPath)
+			if live < len(sessions) {
+				fmt.Fprintf(stderr, "mpipredictd: warning: snapshot held %d sessions but only %d fit -max-sessions %d; the least recently restored were dropped\n",
+					len(sessions), live, *maxSessions)
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			fmt.Fprintf(stdout, "mpipredictd: cold start, no snapshot at %s yet\n", *snapshotPath)
+		default:
+			// A corrupt snapshot is an operator decision, not something to
+			// silently discard: refuse to start until it is moved away.
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(stdout, "mpipredictd: listening on http://%s\n", bound)
+	if onListen != nil {
+		onListen(bound)
+	}
+
+	httpSrv := &http.Server{Handler: serve.NewServer(reg)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if replayTrace != nil {
+		stats, err := serve.Replay("http://"+bound, replayTrace, serve.ReplayOptions{BatchSize: *batch})
+		if err != nil {
+			httpSrv.Close()
+			return err
+		}
+		fmt.Fprintf(stdout, "mpipredictd: replay %s\n", stats)
+	}
+
+	checkpoint := func() error {
+		if *snapshotPath == "" {
+			return nil
+		}
+		sessions := reg.SnapshotSessions()
+		if err := serve.SaveSnapshotFile(*snapshotPath, sessions); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "mpipredictd: checkpointed %d sessions to %s\n", len(sessions), *snapshotPath)
+		return nil
+	}
+
+	sweep := time.NewTicker(*sweepEvery)
+	defer sweep.Stop()
+	var snapTick <-chan time.Time
+	if *snapshotEvery > 0 && *snapshotPath != "" {
+		ticker := time.NewTicker(*snapshotEvery)
+		defer ticker.Stop()
+		snapTick = ticker.C
+	}
+
+	for {
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(stdout, "mpipredictd: %v, shutting down\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			err := httpSrv.Shutdown(ctx)
+			cancel()
+			if cerr := checkpoint(); cerr != nil {
+				return cerr
+			}
+			return err
+		case err := <-serveErr:
+			return err
+		case <-sweep.C:
+			if n := reg.SweepIdle(); n > 0 {
+				fmt.Fprintf(stdout, "mpipredictd: evicted %d idle sessions\n", n)
+			}
+		case <-snapTick:
+			if err := checkpoint(); err != nil {
+				// An interval checkpoint failure (full disk, permissions) is
+				// worth reporting but not worth killing a healthy daemon.
+				fmt.Fprintf(stderr, "mpipredictd: checkpoint failed: %v\n", err)
+			}
+		}
+	}
+}
+
+// visitSet returns which of the named flags were explicitly set on the
+// command line, prefixed with "-" for error messages.
+func visitSet(fset *flag.FlagSet, names ...string) []string {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var set []string
+	fset.Visit(func(f *flag.Flag) {
+		if want[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
+}
+
+// runReplayClient is client mode: push the trace into a running daemon
+// and report throughput.
+func runReplayClient(target string, tr *trace.Trace, batch int, stdout io.Writer) error {
+	stats, err := serve.Replay(target, tr, serve.ReplayOptions{BatchSize: batch})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "mpipredictd: replay %s\n", stats)
+	return nil
+}

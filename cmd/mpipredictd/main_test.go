@@ -1,0 +1,351 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mpipredict/internal/evalx"
+	"mpipredict/internal/serve"
+	"mpipredict/internal/trace"
+	"mpipredict/internal/workloads"
+)
+
+const corpusBT4 = "../../testdata/corpus/bt.4.mpt"
+
+// syncBuffer guards concurrent writes from the daemon goroutine against
+// reads from the test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// daemon is one in-process mpipredictd instance under test.
+type daemon struct {
+	addr string
+	sigs chan os.Signal
+	done chan error
+	out  *syncBuffer
+	errb *syncBuffer
+}
+
+// startDaemon launches run() with -addr 127.0.0.1:0 plus the given args
+// and waits until it listens.
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{
+		sigs: make(chan os.Signal, 1),
+		done: make(chan error, 1),
+		out:  &syncBuffer{},
+		errb: &syncBuffer{},
+	}
+	addrCh := make(chan string, 1)
+	onListen = func(a string) { addrCh <- a }
+	t.Cleanup(func() { onListen = nil })
+	go func() {
+		d.done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), d.out, d.errb, d.sigs)
+	}()
+	select {
+	case d.addr = <-addrCh:
+	case err := <-d.done:
+		t.Fatalf("daemon exited before listening: %v\nstderr: %s", err, d.errb.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start listening within 10s")
+	}
+	return d
+}
+
+func (d *daemon) url() string { return "http://" + d.addr }
+
+// stop sends SIGTERM and waits for a clean exit.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	d.sigs <- syscall.SIGTERM
+	select {
+	case err := <-d.done:
+		if err != nil {
+			t.Fatalf("daemon shutdown: %v\nstderr: %s", err, d.errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down within 10s")
+	}
+}
+
+// predictResult mirrors the /v1/predict response body.
+type predictResult struct {
+	Observed  int64            `json:"observed"`
+	Forecasts []serve.Forecast `json:"forecasts"`
+}
+
+// predict queries the daemon; found is false on 404 (no session yet).
+func predict(t *testing.T, baseURL, tenant, stream string, k int) (predictResult, bool) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/predict?tenant=%s&stream=%s&k=%d", baseURL, tenant, stream, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return predictResult{}, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict returned %s", resp.Status)
+	}
+	var pr predictResult
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	return pr, true
+}
+
+func observeOne(t *testing.T, baseURL, tenant, stream string, sender, size int64) {
+	t.Helper()
+	body := fmt.Sprintf(`{"tenant":"%s","stream":"%s","events":[{"sender":%d,"size":%d}]}`, tenant, stream, sender, size)
+	resp, err := http.Post(baseURL+"/v1/observe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe returned %s", resp.Status)
+	}
+}
+
+// TestDaemonAccuracyMatchesOfflineAndWarmRestarts is the subsystem's
+// end-to-end acceptance: feed the bt.4 corpus trace through the live
+// daemon one event at a time, scoring /v1/predict with the offline
+// measurement protocol, and require hit-for-hit equality with
+// evalx.EvaluateStream; then SIGTERM, warm-restart from the snapshot, and
+// require the checkpoint files of both shutdowns to be byte-identical.
+func TestDaemonAccuracyMatchesOfflineAndWarmRestarts(t *testing.T) {
+	tr, err := trace.Load(corpusBT4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := workloads.ReplayReceiver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := tr.SenderStreamShared(receiver, trace.Physical)
+	sizes := tr.SizeStreamShared(receiver, trace.Physical)
+	offlineSender := evalx.EvaluateStream(senders, nil, 5)
+	offlineSize := evalx.EvaluateStream(sizes, nil, 5)
+
+	snap := filepath.Join(t.TempDir(), "state.mps")
+	d := startDaemon(t, "-snapshot", snap)
+
+	tenant := serve.DefaultTenant(tr)
+	stream := serve.StreamName(receiver, trace.Physical)
+	senderHits := make([]int, 5)
+	sizeHits := make([]int, 5)
+	for i := range senders {
+		pr, found := predict(t, d.url(), tenant, stream, 5)
+		for k := 1; k <= 5; k++ {
+			idx := i + k - 1
+			if idx >= len(senders) {
+				continue
+			}
+			if found && pr.Forecasts[k-1].SenderOK && pr.Forecasts[k-1].Sender == senders[idx] {
+				senderHits[k-1]++
+			}
+			if found && pr.Forecasts[k-1].SizeOK && pr.Forecasts[k-1].Size == sizes[idx] {
+				sizeHits[k-1]++
+			}
+		}
+		observeOne(t, d.url(), tenant, stream, senders[i], sizes[i])
+	}
+	for k := 0; k < 5; k++ {
+		if senderHits[k] != offlineSender.Hits[k] {
+			t.Errorf("sender horizon +%d: daemon scored %d hits, offline evalx %d", k+1, senderHits[k], offlineSender.Hits[k])
+		}
+		if sizeHits[k] != offlineSize.Hits[k] {
+			t.Errorf("size horizon +%d: daemon scored %d hits, offline evalx %d", k+1, sizeHits[k], offlineSize.Hits[k])
+		}
+	}
+
+	// Remember the forecasts the session gives right before shutdown.
+	before, found := predict(t, d.url(), tenant, stream, 5)
+	if !found || before.Observed != int64(len(senders)) {
+		t.Fatalf("pre-shutdown session state wrong: found=%v observed=%d", found, before.Observed)
+	}
+
+	d.stop(t)
+	first, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("shutdown did not write the snapshot: %v", err)
+	}
+
+	// Warm restart: the session must come back with identical state.
+	d2 := startDaemon(t, "-snapshot", snap)
+	if !strings.Contains(d2.out.String(), "warm start, restored 1 sessions") {
+		t.Fatalf("expected a warm start, got output:\n%s", d2.out.String())
+	}
+	after, found := predict(t, d2.url(), tenant, stream, 5)
+	if !found {
+		t.Fatal("session lost across restart")
+	}
+	if after.Observed != before.Observed {
+		t.Fatalf("observed count across restart: %d, want %d", after.Observed, before.Observed)
+	}
+	for i := range before.Forecasts {
+		if before.Forecasts[i] != after.Forecasts[i] {
+			t.Fatalf("forecast %d changed across restart: %+v vs %+v", i, before.Forecasts[i], after.Forecasts[i])
+		}
+	}
+	d2.stop(t)
+	second, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("restart round trip is not byte-for-byte: the two checkpoints differ")
+	}
+}
+
+// TestDaemonSelfReplay starts the daemon with -replay and checks the
+// corpus trace lands in live sessions.
+func TestDaemonSelfReplay(t *testing.T) {
+	d := startDaemon(t, "-replay", corpusBT4)
+	defer d.stop(t)
+
+	// The self-replay runs after the listener is up; wait for its report.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(d.out.String(), "replay tenant=bt.4") {
+		if time.Now().After(deadline) {
+			t.Fatalf("missing replay report in output:\n%s", d.out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Get(d.url() + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Sessions []serve.SessionInfo `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Sessions) != 2 { // logical + physical stream of the traced receiver
+		t.Fatalf("got %d sessions after self-replay, want 2", len(listing.Sessions))
+	}
+	hz, err := http.Get(d.url() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %s", hz.Status)
+	}
+}
+
+// TestDaemonClientModeReplay drives one daemon from a second run() acting
+// as the replay client.
+func TestDaemonClientModeReplay(t *testing.T) {
+	d := startDaemon(t)
+	defer d.stop(t)
+
+	var out, errb bytes.Buffer
+	if err := run([]string{"-replay", corpusBT4, "-target", d.url()}, &out, &errb, nil); err != nil {
+		t.Fatalf("client replay: %v\nstderr: %s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "replay tenant=bt.4") {
+		t.Fatalf("client did not report stats:\n%s", out.String())
+	}
+	pr, found := predict(t, d.url(), "bt.4", "r3/physical", 3)
+	if !found || len(pr.Forecasts) != 3 {
+		t.Fatalf("target daemon has no replayed session (found=%v)", found)
+	}
+}
+
+func TestDaemonRejectsCorruptSnapshot(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.mps")
+	if err := os.WriteFile(snap, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-addr", "127.0.0.1:0", "-snapshot", snap}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+	if err == nil || !errors.Is(err, serve.ErrCorruptSnapshot) {
+		t.Fatalf("corrupt snapshot: got %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"positional args rejected", []string{"serve"}, "unexpected arguments"},
+		{"target without replay", []string{"-target", "http://localhost:1"}, "-target requires -replay"},
+		{"target rejects addr", []string{"-replay", corpusBT4, "-target", "http://x", "-addr", "127.0.0.1:1"}, "ignored with -target"},
+		{"target rejects snapshot", []string{"-replay", corpusBT4, "-target", "http://x", "-snapshot", "s.mps"}, "ignored with -target"},
+		{"negative snapshot interval", []string{"-snapshot-interval", "-1s"}, "must not be negative"},
+		{"bad sweep interval", []string{"-sweep-interval", "0s"}, "must be positive"},
+		{"missing replay file", []string{"-replay", "/no/such/file.mpt"}, "no such file"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	err := run([]string{"-h"}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestDaemonIntervalCheckpoint verifies the periodic checkpoint fires
+// without a shutdown.
+func TestDaemonIntervalCheckpoint(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.mps")
+	d := startDaemon(t, "-snapshot", snap, "-snapshot-interval", "50ms")
+	defer d.stop(t)
+	observeOne(t, d.url(), "t", "s", 1, 2)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if sessions, err := serve.LoadSnapshotFile(snap); err == nil && len(sessions) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval checkpoint never produced a loadable snapshot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestReplayBatchRequiresReplay(t *testing.T) {
+	err := run([]string{"-replay-batch", "32"}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no effect without -replay") {
+		t.Fatalf("error = %v, want the -replay-batch conflict", err)
+	}
+}

@@ -9,10 +9,15 @@
 //	scalesim -mode credits  -workload is -procs 32
 //	scalesim -mode protocol -workload lu -procs 4
 //	scalesim -mode memory   -trace bt25.mpt
+//	scalesim -mode memory   -cache-dir ~/.cache/mpipredict -cache-stats
 //	scalesim -mode static-sweep
 //
 // With -trace, the named file (from cmd/tracegen) replaces the simulator
-// and the replay runs against its recorded streams.
+// and the replay runs against its recorded streams. With -cache-dir, the
+// simulated trace is persisted under the directory and reused by later
+// runs (of scalesim and mpipredict alike — they share the disk layout),
+// so repeated replays of the same configuration skip the simulator
+// entirely (verify with -cache-stats).
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"mpipredict/internal/scalability"
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
 )
 
@@ -49,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	iterations := fs.Int("iterations", 0, "iteration override (0 = class A default)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	tracePath := fs.String("trace", "", "replay this trace file (.mpt or JSONL) instead of simulating")
+	cacheDir := fs.String("cache-dir", "", "persist simulated traces under this directory and reuse them across runs")
+	cacheStats := fs.Bool("cache-stats", false, "print trace-cache statistics for this run to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,12 +64,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 	if *tracePath != "" {
-		// A replay evaluates the file's recorded run; silently ignoring
-		// simulation knobs would let the user believe they changed it.
+		// A replay evaluates the file's recorded run and touches no cache;
+		// silently ignoring simulation/cache knobs would let the user
+		// believe they changed it.
 		var set []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "workload", "procs", "iterations", "seed":
+			case "workload", "procs", "iterations", "seed", "cache-dir", "cache-stats":
 				set = append(set, "-"+f.Name)
 			}
 		})
@@ -70,14 +79,36 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// A fresh Cache per invocation, exactly like mpipredict: its memory
+	// tier is empty, so the printed stats describe this run alone, and the
+	// disk tier under cacheDir carries entries across runs and processes.
+	var cache *tracecache.Cache
+	if *cacheDir != "" {
+		cache = tracecache.NewDisk(*cacheDir)
+	}
+	if *cacheStats {
+		defer func() {
+			if cache == nil {
+				fmt.Fprintln(stderr, "cache: disabled (no -cache-dir)")
+				return
+			}
+			fmt.Fprintf(stderr, "cache: %s\n", cache.Stats())
+		}()
+	}
+
 	if *mode == "static-sweep" {
 		if *tracePath != "" {
 			return fmt.Errorf("-trace is ignored by -mode static-sweep; drop it")
 		}
+		if *cacheDir != "" || *cacheStats {
+			// The sweep is a closed-form computation; printing all-zero
+			// cache stats would imply a warm cache served it.
+			return fmt.Errorf("-cache-dir and -cache-stats are ignored by -mode static-sweep; drop them")
+		}
 		staticSweep(stdout)
 		return nil
 	}
-	tr, receiver, err := replaySource(*tracePath, *name, *procs, *iterations, *seed)
+	tr, receiver, err := replaySource(*tracePath, *name, *procs, *iterations, *seed, cache)
 	if err != nil {
 		return err
 	}
@@ -85,8 +116,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // replaySource produces the trace and receiver to replay: loaded from the
-// given file when path is non-empty, freshly simulated otherwise.
-func replaySource(path, name string, procs, iterations int, seed int64) (*trace.Trace, int, error) {
+// given file when path is non-empty, freshly simulated otherwise (through
+// the cache when one is configured).
+func replaySource(path, name string, procs, iterations int, seed int64, cache *tracecache.Cache) (*trace.Trace, int, error) {
 	if path != "" {
 		tr, err := trace.Load(path)
 		if err != nil {
@@ -99,7 +131,14 @@ func replaySource(path, name string, procs, iterations int, seed int64) (*trace.
 		return tr, receiver, nil
 	}
 	spec := workloads.Spec{Name: name, Procs: procs, Iterations: iterations}
-	tr, err := workloads.Run(workloads.RunConfig{Spec: spec, Net: simnet.DefaultConfig(), Seed: seed})
+	rc := workloads.RunConfig{Spec: spec, Net: simnet.DefaultConfig(), Seed: seed}
+	var tr *trace.Trace
+	var err error
+	if cache != nil {
+		tr, err = cache.Get(rc)
+	} else {
+		tr, err = workloads.Run(rc)
+	}
 	if err != nil {
 		return nil, 0, err
 	}

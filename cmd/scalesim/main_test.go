@@ -134,3 +134,62 @@ func TestTraceReplayJSONLAlsoAccepted(t *testing.T) {
 		t.Errorf("JSONL replay output wrong:\n%s", stdout)
 	}
 }
+
+// TestCacheDirWarmRunSkipsSimulator is the -cache-dir parity contract
+// with mpipredict: the first run simulates and persists, the second run
+// serves the same configuration from the warm directory with zero
+// simulator invocations, and both print identical reports.
+func TestCacheDirWarmRunSkipsSimulator(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-mode", "memory", "-workload", "bt", "-procs", "4", "-iterations", "2",
+		"-cache-dir", dir, "-cache-stats"}
+
+	cold, coldStats, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(coldStats, "simulations=1") || !strings.Contains(coldStats, "disk-writes=1") {
+		t.Fatalf("cold run should simulate once and persist:\n%s", coldStats)
+	}
+
+	warm, warmStats, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warmStats, "simulations=0") || !strings.Contains(warmStats, "disk-hits=1") {
+		t.Fatalf("warm run should not simulate:\n%s", warmStats)
+	}
+	if cold != warm {
+		t.Errorf("cached replay differs from direct run\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+}
+
+// TestCacheStatsWithoutCacheDir reports the cache as disabled instead of
+// printing misleading zeros.
+func TestCacheStatsWithoutCacheDir(t *testing.T) {
+	_, stderr, err := runCLI(t, "-mode", "memory", "-workload", "bt", "-procs", "4", "-iterations", "2", "-cache-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "cache: disabled") {
+		t.Errorf("expected a disabled-cache notice, got:\n%s", stderr)
+	}
+}
+
+// TestTraceRejectsCacheFlags extends the -trace conflict checks to the
+// cache flags.
+func TestTraceRejectsCacheFlags(t *testing.T) {
+	_, _, err := runCLI(t, "-trace", "x.mpt", "-cache-dir", "/tmp/x", "-cache-stats")
+	if err == nil || !strings.Contains(err.Error(), "ignored with -trace") {
+		t.Fatalf("error = %v, want the -trace conflict", err)
+	}
+}
+
+// TestStaticSweepRejectsCacheFlags: the sweep never consults the cache,
+// so the flags error out like -trace does.
+func TestStaticSweepRejectsCacheFlags(t *testing.T) {
+	_, _, err := runCLI(t, "-mode", "static-sweep", "-cache-stats")
+	if err == nil || !strings.Contains(err.Error(), "static-sweep") {
+		t.Fatalf("error = %v, want the static-sweep conflict", err)
+	}
+}

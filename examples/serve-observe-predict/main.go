@@ -1,0 +1,136 @@
+// The online prediction service end to end: start the HTTP service that
+// cmd/mpipredictd hosts, observe a periodic message stream the way an MPI
+// runtime would report receives, query multi-step forecasts, then
+// checkpoint the learned predictor state and warm-restart a second
+// service from the snapshot — the restarted service predicts immediately,
+// without relearning.
+//
+// Run with:
+//
+//	go run ./examples/serve-observe-predict
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpipredict"
+)
+
+func main() {
+	// A 6-rank halo exchange: the receiver hears from the same neighbours
+	// in the same order every iteration, alternating flag and block sizes.
+	senders := []int64{1, 2, 3, 1, 2, 3}
+	sizes := []int64{512, 512, 512, 65536, 65536, 65536}
+
+	// --- Start the service, exactly as mpipredictd does. ---
+	registry := mpipredict.NewServeRegistry(mpipredict.ServeConfig{})
+	server := mpipredict.NewServeServer(registry)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: server}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("service listening on", base)
+
+	// --- Observe: a communication runtime reports receives in batches. ---
+	const rounds = 400
+	var events []mpipredict.ServeEvent
+	for round := 0; round < rounds; round++ {
+		for i := range senders {
+			events = append(events, mpipredict.ServeEvent{Sender: senders[i], Size: sizes[i]})
+		}
+		if len(events) >= 64 || round == rounds-1 {
+			post(base+"/v1/observe", map[string]interface{}{
+				"tenant": "halo-app", "stream": "rank0/physical", "events": events,
+			})
+			events = events[:0]
+		}
+	}
+	fmt.Printf("observed %d events for session halo-app/rank0-physical\n", rounds*len(senders))
+
+	// --- Predict: who sends the next 6 messages, and how many bytes? ---
+	forecast := getJSON(base + "/v1/predict?tenant=halo-app&stream=rank0/physical&k=6")
+	fmt.Println("next 6 messages forecast:")
+	fmt.Println(indent(forecast))
+
+	// --- Checkpoint: persist every session's learned state. ---
+	dir, err := os.MkdirTemp("", "serve-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "state.mps")
+	if err := mpipredict.SaveSessionSnapshots(snapPath, registry.SnapshotSessions()); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(snapPath)
+	fmt.Printf("checkpointed predictor state to %s (%d bytes)\n", filepath.Base(snapPath), info.Size())
+
+	// --- Warm restart: a brand-new registry, primed from the snapshot. ---
+	sessions, err := mpipredict.LoadSessionSnapshots(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restarted := mpipredict.NewServeRegistry(mpipredict.ServeConfig{})
+	if err := restarted.RestoreSessions(sessions); err != nil {
+		log.Fatal(err)
+	}
+	fc, _, ok := restarted.ForecastInto(nil, "halo-app", "rank0/physical", 3)
+	if !ok {
+		log.Fatal("restored registry lost the session")
+	}
+	fmt.Println("restarted service forecasts immediately, no relearning:")
+	for _, f := range fc {
+		fmt.Printf("  +%d: sender %d, %d bytes (ok=%v)\n", f.Ahead, f.Sender, f.Size, f.OK)
+	}
+}
+
+func post(url string, payload interface{}) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+}
+
+func getJSON(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+		return string(raw)
+	}
+	return pretty.String()
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimSpace(s), "\n", "\n  ")
+}

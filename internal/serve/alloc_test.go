@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+
+	"mpipredict/internal/core"
+)
+
+// TestRegistryObserveZeroAllocs pins the service hot path: observing one
+// event on an existing session — shard hash, LRU touch, two predictor
+// observes, counter bump — must not allocate. This is the single-event
+// steady state of a daemon under full load.
+func TestRegistryObserveZeroAllocs(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "tenant", "stream", 6, 4*core.DefaultConfig().WindowSize)
+
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Observe("tenant", "stream", Event{Sender: int64(i % 6), Size: int64(100 * (i % 6))})
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Registry.Observe allocates %.2f objects per event, want 0", allocs)
+	}
+}
+
+// TestRegistryObserveLearningZeroAllocs covers the other steady state: a
+// session whose stream never locks must not allocate per event either.
+func TestRegistryObserveLearningZeroAllocs(t *testing.T) {
+	r := NewRegistry(Config{})
+	var x int64
+	for i := 0; i < 4*core.DefaultConfig().WindowSize; i++ {
+		r.Observe("tenant", "stream", Event{Sender: x, Size: x})
+		x++
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Observe("tenant", "stream", Event{Sender: x, Size: x})
+		x++
+	})
+	if allocs != 0 {
+		t.Errorf("learning-state Observe allocates %.2f objects per event, want 0", allocs)
+	}
+}
+
+// TestRegistryObserveBatchZeroAllocs pins the batched ingest path the
+// replay ingester drives.
+func TestRegistryObserveBatchZeroAllocs(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "tenant", "stream", 6, 4*core.DefaultConfig().WindowSize)
+	batch := make([]Event, 64)
+	for i := range batch {
+		batch[i] = Event{Sender: int64(i % 6), Size: int64(100 * (i % 6))}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.ObserveBatch("tenant", "stream", batch)
+	})
+	if allocs != 0 {
+		t.Errorf("Registry.ObserveBatch allocates %.2f objects per batch, want 0", allocs)
+	}
+}
+
+// TestRegistryForecastIntoZeroAllocs pins the query path's buffer-reuse
+// contract, mirroring core's PredictSeriesInto test.
+func TestRegistryForecastIntoZeroAllocs(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "tenant", "stream", 6, 4*core.DefaultConfig().WindowSize)
+	buf := make([]Forecast, 0, DefaultHorizon)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var ok bool
+		buf, _, ok = r.ForecastInto(buf[:0], "tenant", "stream", DefaultHorizon)
+		if !ok {
+			t.Fatal("session disappeared")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ForecastInto with a reused buffer allocates %.2f objects per query, want 0", allocs)
+	}
+}

@@ -1,0 +1,491 @@
+// Package serve is the online prediction service: it hosts many
+// concurrent prediction sessions — one (sender, size) message predictor
+// per (tenant, stream) key — behind a sharded registry and an HTTP/JSON
+// API, and persists learned predictor state in versioned snapshot files so
+// a daemon restart does not forget periodicity it spent traffic learning.
+//
+// The paper's predictor is explicitly an online mechanism meant to live
+// inside a communication runtime; this package is that runtime's serving
+// shape: observe is the allocation-lean hot path (zero heap allocations
+// per event in steady state, pinned by alloc_test.go), predictions reuse
+// caller buffers, and sessions are evicted by LRU pressure and idle TTL
+// so the registry holds a bounded working set no matter how many streams
+// clients create.
+package serve
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpipredict/internal/core"
+)
+
+// Config parameterizes a Registry. The zero value takes the defaults
+// below.
+type Config struct {
+	// Shards is the number of independently locked registry shards.
+	// Sessions are distributed by key hash; observes on different shards
+	// never contend. Default 64.
+	Shards int
+	// MaxSessions bounds the total number of live sessions. The bound is
+	// enforced per shard (MaxSessions/Shards, at least 1): creating a
+	// session in a full shard evicts that shard's least recently used
+	// one. Default 65536.
+	MaxSessions int
+	// IdleTTL is how long a session may go without an observe or predict
+	// before SweepIdle evicts it. Zero selects the 15-minute default; a
+	// negative value disables idle eviction.
+	IdleTTL time.Duration
+	// Predictor configures the DPD predictors of new sessions (zero
+	// fields take core defaults).
+	Predictor core.Config
+	// Clock overrides the time source (tests). Default time.Now.
+	Clock func() time.Time
+}
+
+// DefaultIdleTTL is the idle eviction horizon when Config.IdleTTL is zero.
+const DefaultIdleTTL = 15 * time.Minute
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 64
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 65536
+	}
+	// The capacity bound is enforced per shard, so more shards than
+	// sessions would silently multiply it (64 shards × min 1 session
+	// each). Clamping the shard count keeps small explicit bounds exact.
+	if c.MaxSessions < c.Shards {
+		c.Shards = c.MaxSessions
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = DefaultIdleTTL
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Event is one observed message: who sent it and how many bytes it
+// carried. It is the unit of the observe API.
+type Event struct {
+	Sender int64 `json:"sender"`
+	Size   int64 `json:"size"`
+}
+
+// Forecast is the joint prediction for one future message of a session.
+// Unlike predictor.MessageForecast it carries per-stream ok flags, so a
+// client scoring only sender accuracy (the paper's Figures 3/4 protocol)
+// sees exactly what the offline harness sees: the sender predictor's own
+// abstentions, not the size predictor's.
+type Forecast struct {
+	Ahead    int   `json:"ahead"`
+	Sender   int64 `json:"sender"`
+	SenderOK bool  `json:"sender_ok"`
+	Size     int64 `json:"size"`
+	SizeOK   bool  `json:"size_ok"`
+	// OK is SenderOK && SizeOK: the joint forecast a buffer
+	// pre-allocator needs.
+	OK bool `json:"ok"`
+}
+
+// SessionInfo is the introspection view of one session.
+type SessionInfo struct {
+	Tenant       string  `json:"tenant"`
+	Stream       string  `json:"stream"`
+	Observed     int64   `json:"observed"`
+	SenderState  string  `json:"sender_state"`
+	SenderPeriod int     `json:"sender_period,omitempty"`
+	SizeState    string  `json:"size_state"`
+	SizePeriod   int     `json:"size_period,omitempty"`
+	IdleSeconds  float64 `json:"idle_s"`
+}
+
+// Stats aggregates registry activity since construction.
+type Stats struct {
+	Sessions      int   // live sessions right now
+	Created       int64 // sessions ever created
+	Restored      int64 // sessions restored from snapshots
+	EvictedLRU    int64 // sessions evicted by per-shard capacity pressure
+	EvictedIdle   int64 // sessions evicted by SweepIdle
+	Events        int64 // observed events
+	Forecasts     int64 // answered forecast queries
+	MissedLookups int64 // forecast/info queries for unknown sessions
+}
+
+type sessionKey struct {
+	tenant, stream string
+}
+
+// session is the per-(tenant, stream) state: one DPD predictor for the
+// sender stream, one for the size stream, and bookkeeping for eviction.
+// Sessions are owned by exactly one shard and only touched under its lock,
+// which serializes each session's observation order — the property the
+// per-session determinism tests pin.
+type session struct {
+	key      sessionKey
+	sender   *core.StreamPredictor
+	size     *core.StreamPredictor
+	observed int64
+	lastSeen time.Time
+	elem     *list.Element
+}
+
+type shard struct {
+	mu       sync.Mutex
+	sessions map[sessionKey]*session
+	lru      list.List // front = most recently used; values are *session
+}
+
+// Registry is the sharded session table. All methods are safe for
+// concurrent use.
+type Registry struct {
+	cfg      Config
+	perShard int
+	shards   []shard
+
+	created     atomic.Int64
+	restored    atomic.Int64
+	evictedLRU  atomic.Int64
+	evictedIdle atomic.Int64
+	events      atomic.Int64
+	forecasts   atomic.Int64
+	missed      atomic.Int64
+}
+
+// NewRegistry returns an empty registry. The shard array is fixed at
+// construction; it never grows or rehashes.
+func NewRegistry(cfg Config) *Registry {
+	cfg = cfg.withDefaults()
+	perShard := cfg.MaxSessions / cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	r := &Registry{cfg: cfg, perShard: perShard, shards: make([]shard, cfg.Shards)}
+	for i := range r.shards {
+		r.shards[i].sessions = make(map[sessionKey]*session)
+	}
+	return r
+}
+
+// shardFor hashes the key with FNV-1a, inlined so the hot path never
+// allocates a joined key string.
+func (r *Registry) shardFor(tenant, stream string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(tenant); i++ {
+		h = (h ^ uint64(tenant[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64 // separator: ("ab","c") must not collide with ("a","bc")
+	for i := 0; i < len(stream); i++ {
+		h = (h ^ uint64(stream[i])) * prime64
+	}
+	return &r.shards[h%uint64(len(r.shards))]
+}
+
+// getLocked returns the session for key, creating it (and evicting the
+// shard's LRU session if the shard is full) when absent. Caller holds
+// sh.mu.
+func (r *Registry) getLocked(sh *shard, tenant, stream string) *session {
+	key := sessionKey{tenant, stream}
+	if s := sh.sessions[key]; s != nil {
+		sh.lru.MoveToFront(s.elem)
+		return s
+	}
+	r.evictForRoomLocked(sh)
+	s := &session{
+		key:    key,
+		sender: core.NewStreamPredictor(r.cfg.Predictor),
+		size:   core.NewStreamPredictor(r.cfg.Predictor),
+	}
+	s.elem = sh.lru.PushFront(s)
+	sh.sessions[key] = s
+	r.created.Add(1)
+	return s
+}
+
+func (r *Registry) removeLocked(sh *shard, s *session) {
+	sh.lru.Remove(s.elem)
+	delete(sh.sessions, s.key)
+}
+
+// evictForRoomLocked evicts the shard's least recently used sessions
+// until one more fits, counting each eviction. Caller holds sh.mu.
+func (r *Registry) evictForRoomLocked(sh *shard) {
+	for len(sh.sessions) >= r.perShard {
+		oldest := sh.lru.Back()
+		if oldest == nil {
+			break
+		}
+		r.removeLocked(sh, oldest.Value.(*session))
+		r.evictedLRU.Add(1)
+	}
+}
+
+// keyLess is the canonical session ordering used by every listing and by
+// the snapshot writer (where it is what makes files byte-stable).
+func keyLess(t1, s1, t2, s2 string) bool {
+	if t1 != t2 {
+		return t1 < t2
+	}
+	return s1 < s2
+}
+
+// Observe feeds one event to the (tenant, stream) session, creating it on
+// first use. This is the service hot path: for an existing session it
+// performs zero heap allocations.
+func (r *Registry) Observe(tenant, stream string, ev Event) {
+	sh := r.shardFor(tenant, stream)
+	sh.mu.Lock()
+	s := r.getLocked(sh, tenant, stream)
+	s.sender.Observe(ev.Sender)
+	s.size.Observe(ev.Size)
+	s.observed++
+	s.lastSeen = r.cfg.Clock()
+	sh.mu.Unlock()
+	r.events.Add(1)
+}
+
+// ObserveBatch feeds a batch of events under a single shard lock and
+// returns the session's total observed count afterwards.
+func (r *Registry) ObserveBatch(tenant, stream string, events []Event) int64 {
+	if len(events) == 0 {
+		return r.observedCount(tenant, stream)
+	}
+	sh := r.shardFor(tenant, stream)
+	sh.mu.Lock()
+	s := r.getLocked(sh, tenant, stream)
+	for _, ev := range events {
+		s.sender.Observe(ev.Sender)
+		s.size.Observe(ev.Size)
+	}
+	s.observed += int64(len(events))
+	s.lastSeen = r.cfg.Clock()
+	total := s.observed
+	sh.mu.Unlock()
+	r.events.Add(int64(len(events)))
+	return total
+}
+
+func (r *Registry) observedCount(tenant, stream string) int64 {
+	sh := r.shardFor(tenant, stream)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s := sh.sessions[sessionKey{tenant, stream}]; s != nil {
+		return s.observed
+	}
+	return 0
+}
+
+// ForecastInto appends forecasts for the next k messages of the session to
+// dst and returns it. ok is false when the session does not exist (the
+// registry never creates sessions on the predict path — an unknown key is
+// the caller's signal, not new state). A query counts as session activity
+// for LRU and idle purposes. With a pre-sized dst this performs zero heap
+// allocations.
+func (r *Registry) ForecastInto(dst []Forecast, tenant, stream string, k int) (_ []Forecast, observed int64, ok bool) {
+	sh := r.shardFor(tenant, stream)
+	sh.mu.Lock()
+	s := sh.sessions[sessionKey{tenant, stream}]
+	if s == nil {
+		sh.mu.Unlock()
+		r.missed.Add(1)
+		return dst, 0, false
+	}
+	sh.lru.MoveToFront(s.elem)
+	s.lastSeen = r.cfg.Clock()
+	for ahead := 1; ahead <= k; ahead++ {
+		sv, sok := s.sender.Predict(ahead)
+		zv, zok := s.size.Predict(ahead)
+		dst = append(dst, Forecast{
+			Ahead:  ahead,
+			Sender: sv, SenderOK: sok,
+			Size: zv, SizeOK: zok,
+			OK: sok && zok,
+		})
+	}
+	observed = s.observed
+	sh.mu.Unlock()
+	r.forecasts.Add(1)
+	return dst, observed, true
+}
+
+// Info returns the introspection view of one session.
+func (r *Registry) Info(tenant, stream string) (SessionInfo, bool) {
+	sh := r.shardFor(tenant, stream)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.sessions[sessionKey{tenant, stream}]
+	if s == nil {
+		r.missed.Add(1)
+		return SessionInfo{}, false
+	}
+	return r.infoLocked(s), true
+}
+
+func (r *Registry) infoLocked(s *session) SessionInfo {
+	info := SessionInfo{
+		Tenant:      s.key.tenant,
+		Stream:      s.key.stream,
+		Observed:    s.observed,
+		SenderState: s.sender.State().String(),
+		SizeState:   s.size.State().String(),
+		IdleSeconds: r.cfg.Clock().Sub(s.lastSeen).Seconds(),
+	}
+	if p, ok := s.sender.Period(); ok {
+		info.SenderPeriod = p
+	}
+	if p, ok := s.size.Period(); ok {
+		info.SizePeriod = p
+	}
+	return info
+}
+
+// Sessions lists every live session, sorted by (tenant, stream) so the
+// listing is deterministic regardless of shard and map iteration order.
+func (r *Registry) Sessions() []SessionInfo {
+	var out []SessionInfo
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			out = append(out, r.infoLocked(s))
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return keyLess(out[i].Tenant, out[i].Stream, out[j].Tenant, out[j].Stream)
+	})
+	return out
+}
+
+// Len returns the number of live sessions.
+func (r *Registry) Len() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SweepIdle evicts every session idle for at least the configured IdleTTL
+// and returns how many it removed. The daemon calls it on a ticker; it is
+// a no-op when idle eviction is disabled.
+func (r *Registry) SweepIdle() int {
+	if r.cfg.IdleTTL < 0 {
+		return 0
+	}
+	cutoff := r.cfg.Clock().Add(-r.cfg.IdleTTL)
+	evicted := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		// The LRU back is the least recently touched session, so the scan
+		// stops at the first fresh one.
+		for {
+			oldest := sh.lru.Back()
+			if oldest == nil {
+				break
+			}
+			s := oldest.Value.(*session)
+			if s.lastSeen.After(cutoff) {
+				break
+			}
+			r.removeLocked(sh, s)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	r.evictedIdle.Add(int64(evicted))
+	return evicted
+}
+
+// Stats returns a snapshot of the registry counters.
+func (r *Registry) Stats() Stats {
+	return Stats{
+		Sessions:      r.Len(),
+		Created:       r.created.Load(),
+		Restored:      r.restored.Load(),
+		EvictedLRU:    r.evictedLRU.Load(),
+		EvictedIdle:   r.evictedIdle.Load(),
+		Events:        r.events.Load(),
+		Forecasts:     r.forecasts.Load(),
+		MissedLookups: r.missed.Load(),
+	}
+}
+
+// SnapshotSessions captures every session's predictor state, sorted by
+// (tenant, stream). The deterministic order is what makes snapshot files
+// byte-for-byte reproducible: snapshotting, restoring and snapshotting
+// again yields the identical byte stream.
+func (r *Registry) SnapshotSessions() []SessionSnapshot {
+	var out []SessionSnapshot
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			out = append(out, SessionSnapshot{
+				Tenant:   s.key.tenant,
+				Stream:   s.key.stream,
+				Observed: s.observed,
+				Sender:   s.sender.Snapshot(),
+				Size:     s.size.Snapshot(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return keyLess(out[i].Tenant, out[i].Stream, out[j].Tenant, out[j].Stream)
+	})
+	return out
+}
+
+// RestoreSessions rebuilds sessions from snapshots, replacing any existing
+// session with the same key. Every snapshot is validated before any state
+// is touched, so a corrupt snapshot set restores nothing rather than half
+// of itself.
+func (r *Registry) RestoreSessions(snaps []SessionSnapshot) error {
+	restored := make([]*session, 0, len(snaps))
+	for _, snap := range snaps {
+		sender, err := core.RestoreStreamPredictor(snap.Sender)
+		if err != nil {
+			return err
+		}
+		size, err := core.RestoreStreamPredictor(snap.Size)
+		if err != nil {
+			return err
+		}
+		restored = append(restored, &session{
+			key:      sessionKey{snap.Tenant, snap.Stream},
+			sender:   sender,
+			size:     size,
+			observed: snap.Observed,
+		})
+	}
+	now := r.cfg.Clock()
+	for _, s := range restored {
+		s.lastSeen = now
+		sh := r.shardFor(s.key.tenant, s.key.stream)
+		sh.mu.Lock()
+		if old := sh.sessions[s.key]; old != nil {
+			r.removeLocked(sh, old)
+		}
+		r.evictForRoomLocked(sh)
+		s.elem = sh.lru.PushFront(s)
+		sh.sessions[s.key] = s
+		sh.mu.Unlock()
+		r.restored.Add(1)
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mpipredict/internal/core"
+)
+
+// testClock is a manually advanced time source.
+type testClock struct {
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time { return c.now }
+
+func (c *testClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// feedPeriodic observes a periodic (sender, size) stream long enough for
+// both predictors to lock.
+func feedPeriodic(r *Registry, tenant, stream string, period, n int) {
+	for i := 0; i < n; i++ {
+		r.Observe(tenant, stream, Event{Sender: int64(i % period), Size: int64(100 * (i % period))})
+	}
+}
+
+func TestRegistryObserveThenForecast(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "t", "s", 6, 4*core.DefaultConfig().WindowSize)
+
+	fc, observed, ok := r.ForecastInto(nil, "t", "s", 5)
+	if !ok {
+		t.Fatal("forecast for an existing session reported no session")
+	}
+	if observed != int64(4*core.DefaultConfig().WindowSize) {
+		t.Fatalf("observed = %d, want %d", observed, 4*core.DefaultConfig().WindowSize)
+	}
+	if len(fc) != 5 {
+		t.Fatalf("got %d forecasts, want 5", len(fc))
+	}
+	next := int64(4*core.DefaultConfig().WindowSize) % 6
+	for i, f := range fc {
+		if !f.OK || !f.SenderOK || !f.SizeOK {
+			t.Fatalf("forecast %d abstained after a locking warm-up: %+v", i, f)
+		}
+		want := (next + int64(i)) % 6
+		if f.Sender != want || f.Size != 100*want {
+			t.Fatalf("forecast %d = (%d, %d), want (%d, %d)", i, f.Sender, f.Size, want, 100*want)
+		}
+		if f.Ahead != i+1 {
+			t.Fatalf("forecast %d has Ahead=%d", i, f.Ahead)
+		}
+	}
+}
+
+func TestRegistryForecastUnknownSession(t *testing.T) {
+	r := NewRegistry(Config{})
+	if _, _, ok := r.ForecastInto(nil, "t", "nope", 5); ok {
+		t.Fatal("forecast invented a session")
+	}
+	if r.Len() != 0 {
+		t.Fatal("the predict path must not create sessions")
+	}
+	if got := r.Stats().MissedLookups; got != 1 {
+		t.Fatalf("MissedLookups = %d, want 1", got)
+	}
+}
+
+func TestRegistryMatchesBarePredictor(t *testing.T) {
+	// A session must behave exactly like two hand-driven StreamPredictors;
+	// the registry adds routing, not semantics.
+	r := NewRegistry(Config{})
+	sender := core.NewStreamPredictor(core.Config{})
+	size := core.NewStreamPredictor(core.Config{})
+	stream := []Event{}
+	for i := 0; i < 3000; i++ {
+		stream = append(stream, Event{Sender: int64(i % 7), Size: int64(i % 3)})
+	}
+	for _, ev := range stream {
+		r.Observe("t", "s", ev)
+		sender.Observe(ev.Sender)
+		size.Observe(ev.Size)
+	}
+	fc, _, ok := r.ForecastInto(nil, "t", "s", 5)
+	if !ok {
+		t.Fatal("session missing")
+	}
+	for k := 1; k <= 5; k++ {
+		sv, sok := sender.Predict(k)
+		zv, zok := size.Predict(k)
+		f := fc[k-1]
+		if f.Sender != sv || f.SenderOK != sok || f.Size != zv || f.SizeOK != zok {
+			t.Fatalf("horizon %d: registry %+v, bare predictors (%d,%v)/(%d,%v)", k, f, sv, sok, zv, zok)
+		}
+	}
+}
+
+func TestRegistryObserveBatchEquivalentToSingles(t *testing.T) {
+	a := NewRegistry(Config{})
+	b := NewRegistry(Config{})
+	events := make([]Event, 500)
+	for i := range events {
+		events[i] = Event{Sender: int64(i % 4), Size: int64(i % 9)}
+	}
+	for _, ev := range events {
+		a.Observe("t", "s", ev)
+	}
+	total := b.ObserveBatch("t", "s", events)
+	if total != int64(len(events)) {
+		t.Fatalf("batch total = %d, want %d", total, len(events))
+	}
+	fa, _, _ := a.ForecastInto(nil, "t", "s", 5)
+	fb, _, _ := b.ForecastInto(nil, "t", "s", 5)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("forecast %d differs: single %+v vs batch %+v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	// One shard with room for 4 sessions: the 5th creation evicts the
+	// least recently used.
+	r := NewRegistry(Config{Shards: 1, MaxSessions: 4})
+	for i := 0; i < 4; i++ {
+		r.Observe("t", fmt.Sprintf("s%d", i), Event{Sender: 1, Size: 1})
+	}
+	// Touch s0 so s1 becomes the LRU.
+	r.Observe("t", "s0", Event{Sender: 1, Size: 1})
+	r.Observe("t", "s4", Event{Sender: 1, Size: 1})
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if _, _, ok := r.ForecastInto(nil, "t", "s1", 1); ok {
+		t.Fatal("s1 should have been evicted as the LRU session")
+	}
+	for _, keep := range []string{"s0", "s2", "s3", "s4"} {
+		if _, ok := r.Info("t", keep); !ok {
+			t.Fatalf("session %s unexpectedly evicted", keep)
+		}
+	}
+	if got := r.Stats().EvictedLRU; got != 1 {
+		t.Fatalf("EvictedLRU = %d, want 1", got)
+	}
+}
+
+func TestRegistryForecastCountsAsActivity(t *testing.T) {
+	r := NewRegistry(Config{Shards: 1, MaxSessions: 2})
+	r.Observe("t", "a", Event{Sender: 1, Size: 1})
+	r.Observe("t", "b", Event{Sender: 1, Size: 1})
+	// Query a: b becomes the LRU and is the one evicted by c.
+	if _, _, ok := r.ForecastInto(nil, "t", "a", 1); !ok {
+		t.Fatal("session a missing")
+	}
+	r.Observe("t", "c", Event{Sender: 1, Size: 1})
+	if _, ok := r.Info("t", "a"); !ok {
+		t.Fatal("recently queried session a was evicted")
+	}
+	if _, ok := r.Info("t", "b"); ok {
+		t.Fatal("stale session b survived the capacity eviction")
+	}
+}
+
+func TestRegistryIdleSweep(t *testing.T) {
+	clock := newTestClock()
+	r := NewRegistry(Config{IdleTTL: time.Minute, Clock: clock.Now})
+	r.Observe("t", "old", Event{Sender: 1, Size: 1})
+	clock.Advance(45 * time.Second)
+	r.Observe("t", "fresh", Event{Sender: 1, Size: 1})
+	clock.Advance(30 * time.Second) // old is 75s idle, fresh 30s
+
+	if evicted := r.SweepIdle(); evicted != 1 {
+		t.Fatalf("SweepIdle evicted %d sessions, want 1", evicted)
+	}
+	if _, ok := r.Info("t", "old"); ok {
+		t.Fatal("idle session survived the sweep")
+	}
+	if _, ok := r.Info("t", "fresh"); !ok {
+		t.Fatal("fresh session was swept")
+	}
+	if got := r.Stats().EvictedIdle; got != 1 {
+		t.Fatalf("EvictedIdle = %d, want 1", got)
+	}
+}
+
+func TestRegistryIdleSweepDisabled(t *testing.T) {
+	clock := newTestClock()
+	r := NewRegistry(Config{IdleTTL: -1, Clock: clock.Now})
+	r.Observe("t", "s", Event{Sender: 1, Size: 1})
+	clock.Advance(24 * time.Hour)
+	if evicted := r.SweepIdle(); evicted != 0 {
+		t.Fatalf("disabled sweep evicted %d sessions", evicted)
+	}
+}
+
+func TestRegistrySessionsSortedAndComplete(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "b", "s2", 4, 3000)
+	feedPeriodic(r, "a", "s1", 4, 3000)
+	feedPeriodic(r, "a", "s0", 4, 10)
+
+	infos := r.Sessions()
+	if len(infos) != 3 {
+		t.Fatalf("got %d sessions, want 3", len(infos))
+	}
+	wantOrder := []string{"a/s0", "a/s1", "b/s2"}
+	for i, info := range infos {
+		if got := info.Tenant + "/" + info.Stream; got != wantOrder[i] {
+			t.Fatalf("session %d = %s, want %s", i, got, wantOrder[i])
+		}
+	}
+	// The long-fed sessions must report a locked sender predictor with the
+	// period visible.
+	for _, info := range infos[1:] {
+		if info.SenderState != "locked" || info.SenderPeriod != 4 {
+			t.Fatalf("session %s/%s: state %s period %d, want locked period 4",
+				info.Tenant, info.Stream, info.SenderState, info.SenderPeriod)
+		}
+	}
+	if infos[0].Observed != 10 {
+		t.Fatalf("a/s0 observed = %d, want 10", infos[0].Observed)
+	}
+}
+
+func TestRegistryStatsCounters(t *testing.T) {
+	r := NewRegistry(Config{})
+	r.Observe("t", "s", Event{Sender: 1, Size: 1})
+	r.ObserveBatch("t", "s", []Event{{Sender: 2, Size: 2}, {Sender: 3, Size: 3}})
+	r.ForecastInto(nil, "t", "s", 5)
+	r.ForecastInto(nil, "t", "missing", 5)
+
+	st := r.Stats()
+	if st.Sessions != 1 || st.Created != 1 || st.Events != 3 || st.Forecasts != 1 || st.MissedLookups != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestRegistryShardDistribution(t *testing.T) {
+	// Many keys must not pile into one shard; with 1024 sessions over 64
+	// shards a pathological hash would overflow the per-shard bound and
+	// evict, which Len would reveal.
+	r := NewRegistry(Config{Shards: 64, MaxSessions: 4096})
+	for i := 0; i < 1024; i++ {
+		r.Observe("tenant", fmt.Sprintf("stream-%d", i), Event{Sender: 1, Size: 1})
+	}
+	if r.Len() != 1024 {
+		t.Fatalf("Len = %d, want 1024 (hash clustering caused evictions)", r.Len())
+	}
+	if got := r.Stats().EvictedLRU; got != 0 {
+		t.Fatalf("EvictedLRU = %d, want 0", got)
+	}
+}
+
+func TestRegistrySnapshotRestoreRoundTrip(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "bt.4", "r1/logical", 6, 3000)
+	feedPeriodic(r, "bt.4", "r1/physical", 6, 2000)
+	feedPeriodic(r, "cg.8", "r3/logical", 4, 100)
+
+	snaps := r.SnapshotSessions()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d session snapshots, want 3", len(snaps))
+	}
+
+	fresh := NewRegistry(Config{})
+	if err := fresh.RestoreSessions(snaps); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 3 {
+		t.Fatalf("restored registry holds %d sessions, want 3", fresh.Len())
+	}
+	if got := fresh.Stats().Restored; got != 3 {
+		t.Fatalf("Restored = %d, want 3", got)
+	}
+
+	// Forecasts and continued observation must match the original exactly.
+	for _, key := range [][2]string{{"bt.4", "r1/logical"}, {"bt.4", "r1/physical"}, {"cg.8", "r3/logical"}} {
+		fa, oa, _ := r.ForecastInto(nil, key[0], key[1], 5)
+		fb, ob, ok := fresh.ForecastInto(nil, key[0], key[1], 5)
+		if !ok || oa != ob {
+			t.Fatalf("session %v: restored observed=%d ok=%v, want observed=%d", key, ob, ok, oa)
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Fatalf("session %v forecast %d: %+v vs %+v", key, i, fa[i], fb[i])
+			}
+		}
+	}
+}
+
+func TestRegistryRestoreRejectsCorruptState(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "t", "s", 6, 3000)
+	snaps := r.SnapshotSessions()
+	snaps[0].Sender.Config.WindowSize = 1 // invalid
+
+	fresh := NewRegistry(Config{})
+	if err := fresh.RestoreSessions(snaps); err == nil {
+		t.Fatal("restore accepted a corrupt predictor state")
+	}
+	if fresh.Len() != 0 {
+		t.Fatal("failed restore left partial sessions behind")
+	}
+}
+
+// TestRegistrySmallMaxSessionsBoundIsExact pins the shard clamp: an
+// explicit bound smaller than the shard count must still be honored
+// exactly, not multiplied by min-one-per-shard.
+func TestRegistrySmallMaxSessionsBoundIsExact(t *testing.T) {
+	r := NewRegistry(Config{MaxSessions: 10}) // default 64 shards would allow 64
+	for i := 0; i < 100; i++ {
+		r.Observe("t", fmt.Sprintf("s%d", i), Event{Sender: 1, Size: 1})
+	}
+	if got := r.Len(); got > 10 {
+		t.Fatalf("registry holds %d sessions, MaxSessions is 10", got)
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+// The replay ingester: feed a recorded trace (any .mpt or JSONL file the
+// repo can produce) through a running daemon's HTTP API. Every traced
+// (receiver, level) pair becomes one session, so a corpus trace doubles as
+// a load generator — `mpipredictd -replay testdata/corpus/bt.4.mpt -target
+// http://...` pushes the exact event streams the offline harness
+// evaluates, and the daemon's sessions end up in the exact state the
+// offline predictors reach.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mpipredict/internal/trace"
+)
+
+// StreamName is the canonical session stream name for one traced
+// (receiver, level) pair. The daemon's replay and the evaluation tests use
+// it so both always address the same session.
+func StreamName(receiver int, level trace.Level) string {
+	return fmt.Sprintf("r%d/%s", receiver, level)
+}
+
+// DefaultTenant is the canonical tenant for a replayed trace.
+func DefaultTenant(tr *trace.Trace) string {
+	return fmt.Sprintf("%s.%d", tr.App, tr.Procs)
+}
+
+// ReplayOptions control a trace replay.
+type ReplayOptions struct {
+	// Tenant overrides the session tenant (default DefaultTenant(tr)).
+	Tenant string
+	// BatchSize is the number of events per observe request (default 64).
+	BatchSize int
+	// Client is the HTTP client to use (default http.DefaultClient).
+	Client *http.Client
+}
+
+// ReplayStats summarize one replay.
+type ReplayStats struct {
+	Tenant   string
+	Sessions int           // sessions fed (one per traced receiver and level)
+	Events   int64         // events observed
+	Requests int64         // observe requests issued
+	Duration time.Duration // wall-clock time of the whole replay
+}
+
+// EventsPerSec returns the observed ingest throughput.
+func (s ReplayStats) EventsPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Duration.Seconds()
+}
+
+// String renders the stats the way the daemon reports them.
+func (s ReplayStats) String() string {
+	return fmt.Sprintf("tenant=%s sessions=%d events=%d requests=%d duration=%s throughput=%.0f events/s",
+		s.Tenant, s.Sessions, s.Events, s.Requests, s.Duration.Round(time.Millisecond), s.EventsPerSec())
+}
+
+// Replay feeds every traced (receiver, level) stream of tr through the
+// observe API of the daemon at baseURL. Events of one session are sent in
+// order (batched), so the daemon's predictor state after the replay is
+// exactly what the offline harness computes for the same streams.
+func Replay(baseURL string, tr *trace.Trace, opts ReplayOptions) (ReplayStats, error) {
+	if opts.Tenant == "" {
+		opts.Tenant = DefaultTenant(tr)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 64
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	stats := ReplayStats{Tenant: opts.Tenant}
+	start := time.Now()
+	events := make([]Event, 0, opts.BatchSize)
+	for _, receiver := range tr.Receivers() {
+		for _, level := range []trace.Level{trace.Logical, trace.Physical} {
+			senders := tr.SenderStreamShared(receiver, level)
+			sizes := tr.SizeStreamShared(receiver, level)
+			if len(senders) == 0 {
+				continue
+			}
+			stream := StreamName(receiver, level)
+			stats.Sessions++
+			for i := 0; i < len(senders); i += opts.BatchSize {
+				end := i + opts.BatchSize
+				if end > len(senders) {
+					end = len(senders)
+				}
+				events = events[:0]
+				for j := i; j < end; j++ {
+					events = append(events, Event{Sender: senders[j], Size: sizes[j]})
+				}
+				if err := postObserve(opts.Client, baseURL, opts.Tenant, stream, events); err != nil {
+					return stats, fmt.Errorf("serve: replaying %s/%s: %w", opts.Tenant, stream, err)
+				}
+				stats.Events += int64(end - i)
+				stats.Requests++
+			}
+		}
+	}
+	stats.Duration = time.Since(start)
+	return stats, nil
+}
+
+// postObserve issues one observe request and verifies it was accepted.
+func postObserve(client *http.Client, baseURL, tenant, stream string, events []Event) error {
+	body, err := json.Marshal(observeRequest{Tenant: tenant, Stream: stream, Events: events})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(baseURL+"/v1/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("observe returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	// Drain so the client can reuse the connection.
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

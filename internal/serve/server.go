@@ -1,0 +1,240 @@
+package serve
+
+// The HTTP/JSON face of the registry. Routes:
+//
+//	POST /v1/observe      {"tenant","stream","events":[{"sender","size"},...]}
+//	GET  /v1/predict      ?tenant=&stream=&k=   (k defaults to 5, the paper's horizon)
+//	GET  /v1/sessions     list every live session
+//	GET  /healthz         liveness + session count
+//	GET  /debug/vars      expvar-style metrics (JSON)
+//
+// Observe is the hot path: request scratch (decoded events, forecast
+// buffers, response encoder) is pooled and reused, so a steady stream of
+// observe calls costs the JSON decode plus the registry's zero-allocation
+// observe — nothing per-request is rebuilt from scratch.
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxHorizon bounds the k parameter of predict queries; it exists so a
+// client cannot request an unbounded forecast loop.
+const MaxHorizon = 64
+
+// DefaultHorizon is the forecast depth when the query omits k — the +1..+5
+// horizon the paper evaluates.
+const DefaultHorizon = 5
+
+// maxObserveBody bounds an observe request body (1 MiB ≈ 40k events),
+// enough for any sane batch while keeping a misbehaving client from
+// buffering without limit.
+const maxObserveBody = 1 << 20
+
+// MaxKeyLen bounds tenant and stream names accepted by the API. It is
+// far below the snapshot format's string limit, so every session the
+// service creates is guaranteed to be checkpointable — an unbounded key
+// would poison checkpointing for all sessions, not just its own.
+const MaxKeyLen = 256
+
+// validKey reports whether a tenant or stream name is acceptable.
+func validKey(s string) bool { return s != "" && len(s) <= MaxKeyLen }
+
+// Server wraps a Registry in an http.Handler.
+type Server struct {
+	reg   *Registry
+	mux   *http.ServeMux
+	vars  *expvar.Map
+	pool  sync.Pool
+	start time.Time
+}
+
+// observeRequest is the POST /v1/observe body.
+type observeRequest struct {
+	Tenant string  `json:"tenant"`
+	Stream string  `json:"stream"`
+	Events []Event `json:"events"`
+}
+
+// scratch is the pooled per-request state. Decoding into the retained
+// Events slice reuses its backing array, and forecasts are appended into
+// a retained buffer, so steady-state requests allocate only what
+// encoding/json itself needs.
+type scratch struct {
+	req       observeRequest
+	forecasts []Forecast
+}
+
+// NewServer returns a Server for the registry. The metrics map is owned
+// by the server (not published to the process-global expvar namespace),
+// so independent servers — and tests — never collide on variable names.
+func NewServer(reg *Registry) *Server {
+	s := &Server{
+		reg:   reg,
+		mux:   http.NewServeMux(),
+		vars:  new(expvar.Map).Init(),
+		start: time.Now(),
+	}
+	s.pool.New = func() interface{} {
+		return &scratch{forecasts: make([]Forecast, 0, MaxHorizon)}
+	}
+	// Each counter reads its own atomic directly: routing through
+	// reg.Stats() would make every scrape sweep all shard locks (via Len)
+	// once per variable, contending with the observe hot path. Only the
+	// live-session gauge genuinely needs the shard sweep.
+	counter := func(v *atomic.Int64) expvar.Func {
+		return func() interface{} { return v.Load() }
+	}
+	s.vars.Set("sessions", expvar.Func(func() interface{} { return reg.Len() }))
+	s.vars.Set("sessions_created", counter(&reg.created))
+	s.vars.Set("sessions_restored", counter(&reg.restored))
+	s.vars.Set("evicted_lru", counter(&reg.evictedLRU))
+	s.vars.Set("evicted_idle", counter(&reg.evictedIdle))
+	s.vars.Set("observed_events", counter(&reg.events))
+	s.vars.Set("forecast_queries", counter(&reg.forecasts))
+	s.vars.Set("missed_lookups", counter(&reg.missed))
+	s.vars.Set("uptime_seconds", expvar.Func(func() interface{} {
+		return time.Since(s.start).Seconds()
+	}))
+	s.mux.HandleFunc("/v1/observe", s.handleObserve)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	return s
+}
+
+// Registry returns the registry the server fronts.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeError emits a JSON error body with the given status. The message
+// is encoded with encoding/json, not %q: Go's quoting emits \xNN escapes
+// for invalid UTF-8 (possible in client-supplied tenant/stream names),
+// which is not legal JSON.
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg, err := json.Marshal(fmt.Sprintf(format, args...))
+	if err != nil {
+		msg = []byte(`"internal error"`)
+	}
+	fmt.Fprintf(w, "{\"error\":%s}\n", msg)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "observe requires POST")
+		return
+	}
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	sc.req.Tenant = ""
+	sc.req.Stream = ""
+	// Zero the whole backing array, not just the length: the decoder
+	// reuses pooled elements in place and only assigns the JSON keys
+	// actually present, so an event omitting "sender" or "size" would
+	// otherwise inherit whatever a previous request left at that index.
+	sc.req.Events = sc.req.Events[:cap(sc.req.Events)]
+	clear(sc.req.Events)
+	sc.req.Events = sc.req.Events[:0]
+
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxObserveBody))
+	if err := dec.Decode(&sc.req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding observe request: %v", err)
+		return
+	}
+	if !validKey(sc.req.Tenant) || !validKey(sc.req.Stream) {
+		writeError(w, http.StatusBadRequest, "tenant and stream are required and at most %d bytes", MaxKeyLen)
+		return
+	}
+	if len(sc.req.Events) == 0 {
+		writeError(w, http.StatusBadRequest, "events must not be empty")
+		return
+	}
+	total := s.reg.ObserveBatch(sc.req.Tenant, sc.req.Stream, sc.req.Events)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"observed\":%d,\"session_observed\":%d}\n", len(sc.req.Events), total)
+}
+
+// predictResponse is the GET /v1/predict body.
+type predictResponse struct {
+	Tenant    string     `json:"tenant"`
+	Stream    string     `json:"stream"`
+	Observed  int64      `json:"observed"`
+	Forecasts []Forecast `json:"forecasts"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "predict requires GET")
+		return
+	}
+	q := r.URL.Query()
+	tenant, stream := q.Get("tenant"), q.Get("stream")
+	if tenant == "" || stream == "" {
+		writeError(w, http.StatusBadRequest, "tenant and stream are required")
+		return
+	}
+	k := DefaultHorizon
+	if raw := q.Get("k"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 || parsed > MaxHorizon {
+			writeError(w, http.StatusBadRequest, "k must be an integer in 1..%d", MaxHorizon)
+			return
+		}
+		k = parsed
+	}
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	forecasts, observed, ok := s.reg.ForecastInto(sc.forecasts[:0], tenant, stream, k)
+	sc.forecasts = forecasts[:0]
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session for tenant %q stream %q", tenant, stream)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(predictResponse{
+		Tenant:    tenant,
+		Stream:    stream,
+		Observed:  observed,
+		Forecasts: forecasts,
+	})
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "sessions requires GET")
+		return
+	}
+	sessions := s.reg.Sessions()
+	if sessions == nil {
+		sessions = []SessionInfo{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Sessions []SessionInfo `json:"sessions"`
+	}{sessions})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"sessions\":%d,\"uptime_s\":%.1f}\n",
+		s.reg.Len(), time.Since(s.start).Seconds())
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.vars.String())
+}

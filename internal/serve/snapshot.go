@@ -1,0 +1,510 @@
+package serve
+
+// This file implements the persistent predictor-state snapshot format
+// (".mps"). It follows the same conventions as the binary trace format
+// (internal/trace/codec.go, DESIGN.md §3): a magic that pins the file
+// family, a version that readers reject when unknown, a tagged item
+// stream, and a CRC-32 trailer that detects any truncation or bit flip.
+//
+// Layout ("uvarint" and "varint" refer to encoding/binary's unsigned and
+// zig-zag varints):
+//
+//	magic   [4]byte  "MPS\x01"
+//	version uvarint  (currently 1)
+//	items:  a sequence of tagged items, each introduced by one tag byte
+//	  tagSnapSession (0x01): uvarint-length tenant and stream strings,
+//	                         varint observed-event count, then the sender
+//	                         and size predictor states (see below)
+//	  tagSnapEnd     (0x00): uvarint session count, then the trailer
+//	trailer [4]byte  little-endian CRC-32 (IEEE) of every byte from the
+//	                 magic through the session count inclusive
+//
+// A predictor state is: the eight config fields (five varints, float bits
+// as uvarints for LockTolerance and RelearnMissRate, varint RelearnWindow),
+// varint WindowObserved, the window (uvarint length + varints, oldest
+// first), one state byte, the pattern (uvarint length + varints), varint
+// phase, varint miss streak, the outcome ring (uvarint length + 0/1
+// bytes, oldest first), varint candidate period and runs, and the five
+// lifetime counters as varints.
+//
+// The file holds no timestamps or other environmental state, so
+// write(read(file)) is byte-identical — the property the daemon's
+// warm-restart test pins.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"mpipredict/internal/core"
+)
+
+// snapshotMagic introduces every predictor snapshot file.
+var snapshotMagic = [4]byte{'M', 'P', 'S', 0x01}
+
+// SnapshotVersion is the current version of the snapshot format.
+const SnapshotVersion = 1
+
+const (
+	tagSnapEnd     = 0x00
+	tagSnapSession = 0x01
+)
+
+// maxSnapStringLen bounds tenant and stream names so a corrupt length
+// prefix cannot force a huge allocation.
+const maxSnapStringLen = 1 << 16
+
+// maxSnapSliceLen bounds window, pattern and outcome-ring lengths read
+// from a file before they are handed to core validation.
+const maxSnapSliceLen = 1 << 20
+
+// ErrCorruptSnapshot is wrapped by every snapshot decoding error:
+// malformed, truncated or bit-flipped input, unknown versions, and state
+// that fails core validation.
+var ErrCorruptSnapshot = errors.New("corrupt predictor snapshot")
+
+var snapCRCTable = crc32.MakeTable(crc32.IEEE)
+
+func snapCorruptf(format string, args ...interface{}) error {
+	return fmt.Errorf("serve: %w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
+}
+
+// SessionSnapshot is one session's persistent state: its key, how many
+// events it has observed, and both predictor states.
+type SessionSnapshot struct {
+	Tenant   string
+	Stream   string
+	Observed int64
+	Sender   core.PredictorSnapshot
+	Size     core.PredictorSnapshot
+}
+
+// snapWriter mirrors the trace codec's Writer: buffered, CRC over every
+// byte, first error sticks.
+type snapWriter struct {
+	bw  *bufio.Writer
+	crc uint32
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (w *snapWriter) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	w.crc = crc32.Update(w.crc, snapCRCTable, p)
+	_, w.err = w.bw.Write(p)
+}
+
+func (w *snapWriter) writeByte(b byte) { w.write([]byte{b}) }
+
+func (w *snapWriter) writeUvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+func (w *snapWriter) writeVarint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+func (w *snapWriter) writeString(s string) {
+	if len(s) > maxSnapStringLen {
+		w.err = fmt.Errorf("serve: string of %d bytes exceeds the snapshot format limit %d", len(s), maxSnapStringLen)
+		return
+	}
+	w.writeUvarint(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+func (w *snapWriter) writeInt64s(xs []int64) {
+	w.writeUvarint(uint64(len(xs)))
+	for _, x := range xs {
+		w.writeVarint(x)
+	}
+}
+
+func (w *snapWriter) writePredictor(s core.PredictorSnapshot) {
+	w.writeVarint(int64(s.Config.WindowSize))
+	w.writeVarint(int64(s.Config.MaxLag))
+	w.writeVarint(int64(s.Config.MinRepeats))
+	w.writeVarint(int64(s.Config.ConfirmRuns))
+	w.writeVarint(int64(s.Config.HoldDown))
+	w.writeUvarint(math.Float64bits(s.Config.LockTolerance))
+	w.writeVarint(int64(s.Config.RelearnWindow))
+	w.writeUvarint(math.Float64bits(s.Config.RelearnMissRate))
+	w.writeVarint(s.WindowObserved)
+	w.writeInt64s(s.Window)
+	w.writeByte(byte(s.State))
+	w.writeInt64s(s.Pattern)
+	w.writeVarint(int64(s.Phase))
+	w.writeVarint(int64(s.MissStreak))
+	w.writeUvarint(uint64(len(s.Recent)))
+	for _, hit := range s.Recent {
+		if hit {
+			w.writeByte(1)
+		} else {
+			w.writeByte(0)
+		}
+	}
+	w.writeVarint(int64(s.CandidatePeriod))
+	w.writeVarint(int64(s.CandidateRuns))
+	w.writeVarint(s.Counters.Observed)
+	w.writeVarint(s.Counters.Locks)
+	w.writeVarint(s.Counters.Unlocks)
+	w.writeVarint(s.Counters.HitsWhile)
+	w.writeVarint(s.Counters.MissesWhile)
+}
+
+// WriteSnapshot writes the sessions to w in the snapshot format. Callers
+// that need the deterministic file contract must pass sessions in a
+// stable order; Registry.SnapshotSessions already sorts by key.
+func WriteSnapshot(w io.Writer, sessions []SessionSnapshot) error {
+	sw := &snapWriter{bw: bufio.NewWriter(w)}
+	sw.write(snapshotMagic[:])
+	sw.writeUvarint(SnapshotVersion)
+	for i := range sessions {
+		s := &sessions[i]
+		// Mirror the reader's key validation: writing a file the reader
+		// would reject as corrupt helps nobody.
+		if s.Tenant == "" || s.Stream == "" {
+			return fmt.Errorf("serve: session %d has an empty key %q/%q", i, s.Tenant, s.Stream)
+		}
+		sw.writeByte(tagSnapSession)
+		sw.writeString(s.Tenant)
+		sw.writeString(s.Stream)
+		sw.writeVarint(s.Observed)
+		sw.writePredictor(s.Sender)
+		sw.writePredictor(s.Size)
+	}
+	sw.writeByte(tagSnapEnd)
+	sw.writeUvarint(uint64(len(sessions)))
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sw.crc)
+	if sw.err == nil {
+		if _, err := sw.bw.Write(trailer[:]); err != nil {
+			sw.err = err
+		}
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.bw.Flush()
+}
+
+// snapReader mirrors the trace codec's Reader, keeping the CRC in sync
+// with every byte consumed.
+type snapReader struct {
+	br  *bufio.Reader
+	crc uint32
+}
+
+// ReadByte satisfies io.ByteReader for binary.ReadUvarint.
+func (r *snapReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	r.crc = crc32.Update(r.crc, snapCRCTable, []byte{b})
+	return b, nil
+}
+
+func (r *snapReader) readFull(p []byte) error {
+	if _, err := io.ReadFull(r.br, p); err != nil {
+		return err
+	}
+	r.crc = crc32.Update(r.crc, snapCRCTable, p)
+	return nil
+}
+
+func (r *snapReader) readUvarint() (uint64, error) { return binary.ReadUvarint(r) }
+
+func (r *snapReader) readVarint() (int64, error) { return binary.ReadVarint(r) }
+
+func (r *snapReader) readString() (string, error) {
+	n, err := r.readUvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxSnapStringLen {
+		return "", fmt.Errorf("string length %d exceeds the format limit %d", n, maxSnapStringLen)
+	}
+	buf := make([]byte, n)
+	if err := r.readFull(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (r *snapReader) readInt64s() ([]int64, error) {
+	n, err := r.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSnapSliceLen {
+		return nil, fmt.Errorf("slice length %d exceeds the format limit %d", n, maxSnapSliceLen)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		if out[i], err = r.readVarint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *snapReader) readPredictor() (core.PredictorSnapshot, error) {
+	var s core.PredictorSnapshot
+	fields := []*int{
+		&s.Config.WindowSize, &s.Config.MaxLag, &s.Config.MinRepeats,
+		&s.Config.ConfirmRuns, &s.Config.HoldDown,
+	}
+	for _, f := range fields {
+		v, err := r.readVarint()
+		if err != nil {
+			return s, err
+		}
+		*f = int(v)
+	}
+	bits, err := r.readUvarint()
+	if err != nil {
+		return s, err
+	}
+	s.Config.LockTolerance = math.Float64frombits(bits)
+	v, err := r.readVarint()
+	if err != nil {
+		return s, err
+	}
+	s.Config.RelearnWindow = int(v)
+	if bits, err = r.readUvarint(); err != nil {
+		return s, err
+	}
+	s.Config.RelearnMissRate = math.Float64frombits(bits)
+	if s.WindowObserved, err = r.readVarint(); err != nil {
+		return s, err
+	}
+	if s.Window, err = r.readInt64s(); err != nil {
+		return s, err
+	}
+	state, err := r.ReadByte()
+	if err != nil {
+		return s, err
+	}
+	s.State = core.LockState(state)
+	if s.Pattern, err = r.readInt64s(); err != nil {
+		return s, err
+	}
+	if v, err = r.readVarint(); err != nil {
+		return s, err
+	}
+	s.Phase = int(v)
+	if v, err = r.readVarint(); err != nil {
+		return s, err
+	}
+	s.MissStreak = int(v)
+	n, err := r.readUvarint()
+	if err != nil {
+		return s, err
+	}
+	if n > maxSnapSliceLen {
+		return s, fmt.Errorf("outcome ring length %d exceeds the format limit %d", n, maxSnapSliceLen)
+	}
+	if n > 0 {
+		s.Recent = make([]bool, n)
+		for i := range s.Recent {
+			b, err := r.ReadByte()
+			if err != nil {
+				return s, err
+			}
+			switch b {
+			case 0:
+				s.Recent[i] = false
+			case 1:
+				s.Recent[i] = true
+			default:
+				return s, fmt.Errorf("invalid outcome byte 0x%02x", b)
+			}
+		}
+	}
+	if v, err = r.readVarint(); err != nil {
+		return s, err
+	}
+	s.CandidatePeriod = int(v)
+	if v, err = r.readVarint(); err != nil {
+		return s, err
+	}
+	s.CandidateRuns = int(v)
+	counters := []*int64{
+		&s.Counters.Observed, &s.Counters.Locks, &s.Counters.Unlocks,
+		&s.Counters.HitsWhile, &s.Counters.MissesWhile,
+	}
+	for _, c := range counters {
+		if *c, err = r.readVarint(); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+// ReadSnapshot reads a complete snapshot previously written by
+// WriteSnapshot. Beyond the structural checks (magic, version, tags,
+// session count, CRC) every predictor state is validated by a trial
+// restore, so a snapshot that decodes but cannot produce a working
+// predictor is rejected here, not at serving time. Trailing bytes after
+// the trailer are rejected: for a file they mean a botched concatenation
+// or a partial overwrite.
+func ReadSnapshot(r io.Reader) ([]SessionSnapshot, error) {
+	sr := &snapReader{br: bufio.NewReader(r)}
+	var magic [4]byte
+	if err := sr.readFull(magic[:]); err != nil {
+		return nil, snapCorruptf("reading magic: %v", err)
+	}
+	if magic != snapshotMagic {
+		return nil, snapCorruptf("bad magic %q", magic[:])
+	}
+	version, err := sr.readUvarint()
+	if err != nil {
+		return nil, snapCorruptf("reading version: %v", err)
+	}
+	if version != SnapshotVersion {
+		return nil, snapCorruptf("unsupported version %d (have %d)", version, SnapshotVersion)
+	}
+	var sessions []SessionSnapshot
+	seen := make(map[sessionKey]bool)
+	for {
+		tag, err := sr.ReadByte()
+		if err != nil {
+			return nil, snapCorruptf("reading item tag: %v", err)
+		}
+		switch tag {
+		case tagSnapSession:
+			snap, err := readSession(sr)
+			if err != nil {
+				return nil, err
+			}
+			key := sessionKey{snap.Tenant, snap.Stream}
+			if seen[key] {
+				return nil, snapCorruptf("duplicate session %q/%q", snap.Tenant, snap.Stream)
+			}
+			seen[key] = true
+			sessions = append(sessions, snap)
+		case tagSnapEnd:
+			count, err := sr.readUvarint()
+			if err != nil {
+				return nil, snapCorruptf("reading session count: %v", err)
+			}
+			if count != uint64(len(sessions)) {
+				return nil, snapCorruptf("session count %d does not match %d sessions read", count, len(sessions))
+			}
+			want := sr.crc
+			var trailer [4]byte
+			if _, err := io.ReadFull(sr.br, trailer[:]); err != nil {
+				return nil, snapCorruptf("reading checksum: %v", err)
+			}
+			if got := binary.LittleEndian.Uint32(trailer[:]); got != want {
+				return nil, snapCorruptf("checksum mismatch: file says %08x, content hashes to %08x", got, want)
+			}
+			if _, err := sr.br.ReadByte(); err != io.EOF {
+				return nil, snapCorruptf("trailing data after the snapshot trailer")
+			}
+			return sessions, nil
+		default:
+			return nil, snapCorruptf("unknown item tag 0x%02x", tag)
+		}
+	}
+}
+
+func readSession(sr *snapReader) (SessionSnapshot, error) {
+	var snap SessionSnapshot
+	var err error
+	if snap.Tenant, err = sr.readString(); err != nil {
+		return snap, snapCorruptf("reading tenant: %v", err)
+	}
+	if snap.Stream, err = sr.readString(); err != nil {
+		return snap, snapCorruptf("reading stream: %v", err)
+	}
+	if snap.Tenant == "" || snap.Stream == "" {
+		return snap, snapCorruptf("empty session key %q/%q", snap.Tenant, snap.Stream)
+	}
+	if snap.Observed, err = sr.readVarint(); err != nil {
+		return snap, snapCorruptf("reading observed count: %v", err)
+	}
+	if snap.Observed < 0 {
+		return snap, snapCorruptf("negative observed count %d", snap.Observed)
+	}
+	if snap.Sender, err = sr.readPredictor(); err != nil {
+		return snap, snapCorruptf("reading sender predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
+	}
+	if snap.Size, err = sr.readPredictor(); err != nil {
+		return snap, snapCorruptf("reading size predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
+	}
+	// A trial restore applies the full core validation surface, so no
+	// structurally valid but semantically corrupt state survives loading.
+	if _, err := core.RestoreStreamPredictor(snap.Sender); err != nil {
+		return snap, snapCorruptf("sender predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
+	}
+	if _, err := core.RestoreStreamPredictor(snap.Size); err != nil {
+		return snap, snapCorruptf("size predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
+	}
+	return snap, nil
+}
+
+// SaveSnapshotFile writes the sessions to the named file, creating or
+// replacing it. The write is atomic (temp file in the same directory +
+// rename), so a failure partway — full disk, killed daemon — never leaves
+// a truncated snapshot behind or clobbers the previous good checkpoint.
+func SaveSnapshotFile(path string, sessions []SessionSnapshot) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("serve: creating temp file in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	if err := WriteSnapshot(f, sessions); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Unlike cache and trace exports (re-derivable by re-simulating), a
+	// snapshot is the only copy of state learned from live traffic, so the
+	// data must be durable before the rename can clobber the previous good
+	// checkpoint — without the fsync, a power loss after the rename could
+	// leave an empty file the daemon then refuses to boot from.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("serve: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: replacing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadSnapshotFile reads a snapshot from the named file.
+func LoadSnapshotFile(path string) ([]SessionSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	sessions, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading %s: %w", path, err)
+	}
+	return sessions, nil
+}

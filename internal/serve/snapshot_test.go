@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mpipredict/internal/core"
+)
+
+// codecPredictorConfig keeps codec-test predictor state small: the
+// every-truncation and every-bit-flip sweeps decode (and trial-restore)
+// the file thousands of times, so window geometry directly multiplies
+// their runtime without adding coverage.
+func codecPredictorConfig() core.Config {
+	return core.Config{WindowSize: 48, MaxLag: 16, MinRepeats: 2, ConfirmRuns: 3,
+		HoldDown: 4, LockTolerance: 0.2, RelearnWindow: 12, RelearnMissRate: 0.3}
+}
+
+// sampleSessions builds a deterministic set of session snapshots covering
+// locked, learning and fresh predictor states.
+func sampleSessions(t testing.TB) []SessionSnapshot {
+	t.Helper()
+	r := NewRegistry(Config{Predictor: codecPredictorConfig()})
+	feedPeriodic(r, "bt.4", "r1/logical", 6, 300)   // locked
+	feedPeriodic(r, "bt.4", "r1/physical", 12, 250) // locked, longer period
+	for i := 0; i < 40; i++ {                       // learning, aperiodic
+		r.Observe("cg.8", "r3/logical", Event{Sender: int64(i), Size: int64(i * i)})
+	}
+	r.Observe("is.4", "r0/logical", Event{Sender: 2, Size: 1 << 20}) // nearly fresh
+	return r.SnapshotSessions()
+}
+
+func encodeSnapshot(t testing.TB, sessions []SessionSnapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sessions); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	want := sampleSessions(t)
+	data := encodeSnapshot(t, want)
+	got, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotCodecEmpty(t *testing.T) {
+	data := encodeSnapshot(t, nil)
+	got, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty snapshot decoded to %d sessions", len(got))
+	}
+}
+
+// TestSnapshotCodecRoundTripProperty round-trips randomly generated
+// predictor states driven through real observation streams, the snapshot
+// analogue of the trace codec's property test.
+func TestSnapshotCodecRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		r := NewRegistry(Config{Predictor: codecPredictorConfig()})
+		sessions := 1 + rng.Intn(5)
+		for s := 0; s < sessions; s++ {
+			tenant := string(rune('a' + rng.Intn(3)))
+			stream := string(rune('x' + rng.Intn(3)))
+			n := rng.Intn(500)
+			period := 1 + rng.Intn(20)
+			noise := rng.Intn(4) == 0
+			for i := 0; i < n; i++ {
+				ev := Event{Sender: int64(i % period), Size: int64((i * 37) % period)}
+				if noise && rng.Intn(8) == 0 {
+					ev.Sender = int64(rng.Intn(period + 3))
+				}
+				r.Observe(tenant, stream, ev)
+			}
+		}
+		want := r.SnapshotSessions()
+		data := encodeSnapshot(t, want)
+		got, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+		// Stability: re-encoding the decoded sessions must be
+		// byte-identical (the warm-restart contract).
+		if again := encodeSnapshot(t, got); !bytes.Equal(again, data) {
+			t.Fatalf("trial %d: re-encode is not byte-identical", trial)
+		}
+	}
+}
+
+// TestSnapshotCodecRejectsEveryTruncation mirrors the trace codec suite:
+// every proper prefix of a valid file must be rejected.
+func TestSnapshotCodecRejectsEveryTruncation(t *testing.T) {
+	data := encodeSnapshot(t, sampleSessions(t))
+	for n := 0; n < len(data); n++ {
+		if _, err := ReadSnapshot(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes was accepted", n, len(data))
+		} else if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("truncation to %d bytes: error %v does not wrap ErrCorruptSnapshot", n, err)
+		}
+	}
+}
+
+// TestSnapshotCodecRejectsEveryBitFlip flips every bit of a valid file and
+// requires the reader to reject (or, never, silently accept) each one.
+func TestSnapshotCodecRejectsEveryBitFlip(t *testing.T) {
+	data := encodeSnapshot(t, sampleSessions(t))
+	mutated := make([]byte, len(data))
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(mutated, data)
+			mutated[i] ^= 1 << bit
+			if _, err := ReadSnapshot(bytes.NewReader(mutated)); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d was accepted", i, bit)
+			}
+		}
+	}
+}
+
+func TestSnapshotCodecRejectsTrailingGarbage(t *testing.T) {
+	data := encodeSnapshot(t, sampleSessions(t))
+	if _, err := ReadSnapshot(bytes.NewReader(append(data, 0x00))); err == nil {
+		t.Fatal("trailing byte was accepted")
+	}
+}
+
+func TestSnapshotCodecRejectsWrongVersion(t *testing.T) {
+	data := encodeSnapshot(t, nil)
+	data[4] = 2 // version byte follows the 4-byte magic
+	if _, err := ReadSnapshot(bytes.NewReader(data)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("unknown version: got %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestSnapshotCodecRejectsDuplicateSessions(t *testing.T) {
+	sessions := sampleSessions(t)[:1]
+	dup := append(sessions, sessions[0])
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, dup); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("duplicate session keys: got %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestSaveLoadSnapshotFile(t *testing.T) {
+	want := sampleSessions(t)
+	path := filepath.Join(t.TempDir(), "state.mps")
+	if err := SaveSnapshotFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("file round trip mismatch")
+	}
+	// Atomicity: the directory must hold only the snapshot, no temp debris.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("snapshot dir holds %d entries, want just the snapshot", len(entries))
+	}
+}
+
+func TestSaveSnapshotFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.mps")
+	if err := SaveSnapshotFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := sampleSessions(t)
+	if err := SaveSnapshotFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replacement lost sessions: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestLoadSnapshotFileMissing(t *testing.T) {
+	if _, err := LoadSnapshotFile(filepath.Join(t.TempDir(), "absent.mps")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: got %v, want fs.ErrNotExist", err)
+	}
+}
+
+// FuzzSnapshotCodec drives the decoder with arbitrary bytes: it must never
+// panic, and any input it accepts must re-encode to a byte-identical file
+// (the decode/encode fixpoint that makes warm restarts stable).
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add(encodeSnapshot(f, nil))
+	f.Add(encodeSnapshot(f, sampleSessions(f)))
+	short := sampleSessions(f)[:1]
+	f.Add(encodeSnapshot(f, short))
+	f.Add([]byte("MPS\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sessions, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, sessions); err != nil {
+			t.Fatalf("re-encoding accepted input failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted input does not re-encode identically")
+		}
+		// Every accepted session must restore into working predictors.
+		for _, s := range sessions {
+			if _, err := core.RestoreStreamPredictor(s.Sender); err != nil {
+				t.Fatalf("accepted sender state does not restore: %v", err)
+			}
+			if _, err := core.RestoreStreamPredictor(s.Size); err != nil {
+				t.Fatalf("accepted size state does not restore: %v", err)
+			}
+		}
+	})
+}
+
+// TestWriteSnapshotRejectsEmptyKeys mirrors the reader's validation on
+// the write side: producing a file the reader would call corrupt helps
+// nobody (a library user can create empty-key sessions directly on a
+// Registry; the HTTP layer cannot).
+func TestWriteSnapshotRejectsEmptyKeys(t *testing.T) {
+	r := NewRegistry(Config{Predictor: codecPredictorConfig()})
+	r.Observe("", "s", Event{Sender: 1, Size: 2})
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, r.SnapshotSessions()); err == nil {
+		t.Fatal("WriteSnapshot accepted an empty session key")
+	}
+}

@@ -27,6 +27,7 @@
 package tracecache
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"sync"
@@ -104,6 +105,28 @@ type Stats struct {
 	DiskWrites int64 // fresh simulations persisted to the disk tier
 	DiskErrors int64 // corrupt/unreadable/unwritable disk entries (recovered)
 	Entries    int   // entries currently cached in memory
+}
+
+// Delta returns s with before's counters subtracted; Entries stays
+// absolute (it is a gauge, not a counter). CLIs use it to report the
+// activity of one run against a snapshot taken before it.
+func (s Stats) Delta(before Stats) Stats {
+	s.Hits -= before.Hits
+	s.Misses -= before.Misses
+	s.Coalesced -= before.Coalesced
+	s.DiskHits -= before.DiskHits
+	s.DiskWrites -= before.DiskWrites
+	s.DiskErrors -= before.DiskErrors
+	return s
+}
+
+// String renders the counters in the one-line form the CLI -cache-stats
+// flags print. Misses are labelled "simulations" because a miss is
+// exactly one simulator invocation; simulations=0 proves a warm cache
+// served everything.
+func (s Stats) String() string {
+	return fmt.Sprintf("simulations=%d disk-hits=%d disk-writes=%d disk-errors=%d mem-hits=%d coalesced=%d entries=%d",
+		s.Misses, s.DiskHits, s.DiskWrites, s.DiskErrors, s.Hits, s.Coalesced, s.Entries)
 }
 
 // entry is one in-flight or completed simulation.

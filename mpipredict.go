@@ -32,6 +32,7 @@ import (
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/predictor"
 	"mpipredict/internal/scalability"
+	"mpipredict/internal/serve"
 	"mpipredict/internal/simmpi"
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/trace"
@@ -107,6 +108,35 @@ type (
 	Figure1Result = evalx.Figure1Result
 	// Figure2Result is the data behind Figure 2.
 	Figure2Result = evalx.Figure2Result
+)
+
+// Serving types (the online prediction service behind cmd/mpipredictd).
+type (
+	// PredictorSnapshot is the complete serializable state of a
+	// StreamPredictor.
+	PredictorSnapshot = core.PredictorSnapshot
+	// ServeConfig parameterises the session registry (shards, capacity,
+	// idle TTL, predictor configuration).
+	ServeConfig = serve.Config
+	// ServeRegistry is the sharded session registry hosting one message
+	// predictor per (tenant, stream) key.
+	ServeRegistry = serve.Registry
+	// ServeServer is the HTTP/JSON face of a registry.
+	ServeServer = serve.Server
+	// ServeEvent is one observed message (sender, size).
+	ServeEvent = serve.Event
+	// ServeForecast is one future-message forecast with per-stream ok
+	// flags.
+	ServeForecast = serve.Forecast
+	// ServeSessionInfo is the introspection view of one session.
+	ServeSessionInfo = serve.SessionInfo
+	// SessionSnapshot is one session's persistent predictor state.
+	SessionSnapshot = serve.SessionSnapshot
+	// ReplayOptions control feeding a recorded trace through a daemon's
+	// observe API.
+	ReplayOptions = serve.ReplayOptions
+	// ReplayStats summarise one trace replay.
+	ReplayStats = serve.ReplayStats
 )
 
 // Scalability types.
@@ -251,6 +281,40 @@ func Figures34(opts EvalOptions) (logical, physical FigureResult, err error) {
 	}
 	logical, physical = evalx.FiguresFromResults(opts, results)
 	return logical, physical, nil
+}
+
+// RestorePredictor rebuilds a stream predictor from a snapshot taken with
+// StreamPredictor.Snapshot, validating the state in full.
+func RestorePredictor(s PredictorSnapshot) (*StreamPredictor, error) {
+	return core.RestoreStreamPredictor(s)
+}
+
+// NewServeRegistry returns an empty session registry for the online
+// prediction service.
+func NewServeRegistry(cfg ServeConfig) *ServeRegistry { return serve.NewRegistry(cfg) }
+
+// NewServeServer wraps a registry in the service's HTTP/JSON API
+// (observe, predict, sessions, healthz, expvar metrics).
+func NewServeServer(reg *ServeRegistry) *ServeServer { return serve.NewServer(reg) }
+
+// SaveSessionSnapshots writes session predictor states to a versioned,
+// checksummed snapshot file (atomic replace); LoadSessionSnapshots reads
+// one back, rejecting any corruption.
+func SaveSessionSnapshots(path string, sessions []SessionSnapshot) error {
+	return serve.SaveSnapshotFile(path, sessions)
+}
+
+// LoadSessionSnapshots reads a snapshot file written by
+// SaveSessionSnapshots.
+func LoadSessionSnapshots(path string) ([]SessionSnapshot, error) {
+	return serve.LoadSnapshotFile(path)
+}
+
+// ReplayTrace feeds a recorded trace through the observe API of the
+// prediction daemon at baseURL, one session per traced (receiver, level)
+// stream.
+func ReplayTrace(baseURL string, tr *Trace, opts ReplayOptions) (ReplayStats, error) {
+	return serve.Replay(baseURL, tr, opts)
 }
 
 // SaveTrace and LoadTrace persist traces as JSON lines.

@@ -138,3 +138,40 @@ func TestFacadeFigure1SmallRun(t *testing.T) {
 		t.Errorf("Figure 1 periods=%d/%d want 18/18", fig.SenderPeriod, fig.SizePeriod)
 	}
 }
+
+func TestFacadeServing(t *testing.T) {
+	reg := NewServeRegistry(ServeConfig{})
+	for i := 0; i < 3000; i++ {
+		reg.Observe("tenant", "stream", ServeEvent{Sender: int64(i % 4), Size: int64(10 * (i % 4))})
+	}
+	fc, observed, ok := reg.ForecastInto(nil, "tenant", "stream", 3)
+	if !ok || observed != 3000 || len(fc) != 3 {
+		t.Fatalf("forecast = (%d forecasts, observed %d, ok %v)", len(fc), observed, ok)
+	}
+	if !fc[0].OK {
+		t.Error("warmed session should forecast")
+	}
+	if NewServeServer(reg).Registry() != reg {
+		t.Error("server does not front the registry it was built with")
+	}
+
+	path := filepath.Join(t.TempDir(), "state.mps")
+	if err := SaveSessionSnapshots(path, reg.SnapshotSessions()); err != nil {
+		t.Fatal(err)
+	}
+	sessions, err := LoadSessionSnapshots(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 {
+		t.Fatalf("loaded %d sessions, want 1", len(sessions))
+	}
+	sp, err := RestorePredictor(sessions[0].Sender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, _ := reg.ForecastInto(nil, "tenant", "stream", 1)
+	if v, ok := sp.Predict(1); !ok || v != want[0].Sender {
+		t.Fatalf("restored predictor predicts (%d, %v), registry says %d", v, ok, want[0].Sender)
+	}
+}
