@@ -15,6 +15,7 @@ import (
 	"mpipredict/internal/benchdefs"
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/predictor"
+	"mpipredict/internal/strategy"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/workloads"
 )
@@ -286,4 +287,63 @@ func BenchmarkServePredict(b *testing.B) {
 		}
 	}
 	benchdefs.ReportThroughput(b)
+}
+
+// BenchmarkStrategyObserve measures the steady-state observe cost of
+// every registered prediction strategy through the Strategy interface —
+// the per-event price each model pays on the serving hot path. The dpd
+// entry doubles as the interface-dispatch regression guard for the core
+// predictor (0 allocs/op).
+func BenchmarkStrategyObserve(b *testing.B) {
+	for _, name := range strategy.Names() {
+		b.Run(name, func(b *testing.B) {
+			env, err := benchdefs.NewStrategyBenchEnv(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.Observe()
+			}
+			benchdefs.ReportThroughput(b)
+		})
+	}
+}
+
+// BenchmarkStrategyPredict measures the +1..+5 series query of every
+// registered strategy against a warmed stream.
+func BenchmarkStrategyPredict(b *testing.B) {
+	for _, name := range strategy.Names() {
+		b.Run(name, func(b *testing.B) {
+			env, err := benchdefs.NewStrategyBenchEnv(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.Predict(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportThroughput(b)
+		})
+	}
+}
+
+// BenchmarkStrategyComparison regenerates the strategy comparison grid
+// (the new report of this refactor): every registered strategy on one
+// representative spec per benchmark. The metric is each strategy's mean
+// logical sender accuracy on BT.
+func BenchmarkStrategyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := evalx.CompareStrategies(nil, nil, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range cmp.Strategies {
+			b.ReportMetric(100*cmp.Rows[0].Logical[name], name+"-bt-logical-%")
+		}
+	}
 }

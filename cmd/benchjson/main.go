@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"mpipredict/internal/benchdefs"
+	"mpipredict/internal/strategy"
 )
 
 // entry is one named benchmark. Cached marks benchmarks that read the
@@ -159,6 +160,40 @@ func benchmarks() []entry {
 	}
 }
 
+// strategyBenchmarks appends one observe and one predict entry per
+// registered prediction strategy, so the committed snapshots track every
+// model's hot-path throughput side by side.
+func strategyBenchmarks(entries []entry) []entry {
+	for _, name := range strategy.Names() {
+		name := name
+		entries = append(entries, entry{"strategy-observe-" + name, false, func(b *testing.B) {
+			env, err := benchdefs.NewStrategyBenchEnv(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.Observe()
+			}
+			benchdefs.ReportThroughput(b)
+		}})
+		entries = append(entries, entry{"strategy-predict-" + name, false, func(b *testing.B) {
+			env, err := benchdefs.NewStrategyBenchEnv(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.Predict(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportThroughput(b)
+		}})
+	}
+	return entries
+}
+
 // nextFreePath returns the first BENCH_<n>.json (n = 1, 2, ...) that does
 // not exist yet in the current directory.
 func nextFreePath() string {
@@ -194,7 +229,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
-	all := benchmarks()
+	all := strategyBenchmarks(benchmarks())
 	if *list {
 		for _, e := range all {
 			fmt.Fprintln(stdout, e.Name)

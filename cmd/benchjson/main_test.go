@@ -24,10 +24,11 @@ func TestListPrintsEveryBenchmark(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Fields(stdout)
-	if len(lines) != len(benchmarks()) {
-		t.Fatalf("-list printed %d names, want %d", len(lines), len(benchmarks()))
+	if want := len(strategyBenchmarks(benchmarks())); len(lines) != want {
+		t.Fatalf("-list printed %d names, want %d", len(lines), want)
 	}
-	for _, want := range []string{"table1", "figures34", "figure3-cold-serial", "serve-observe", "serve-predict"} {
+	for _, want := range []string{"table1", "figures34", "figure3-cold-serial", "serve-observe", "serve-predict",
+		"strategy-observe-dpd", "strategy-predict-dpd", "strategy-observe-lastvalue", "strategy-predict-markov1"} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("-list output missing %q:\n%s", want, stdout)
 		}

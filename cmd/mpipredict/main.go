@@ -8,18 +8,24 @@
 //	mpipredict -experiment all
 //	mpipredict -experiment table1
 //	mpipredict -experiment figure3 -seed 7 -parallel 8
+//	mpipredict -experiment figure3 -predictor markov1
+//	mpipredict -experiment compare
 //	mpipredict -experiment figure1 -iterations 40 -noiseless
 //	mpipredict -experiment table1 -cache-dir ~/.cache/mpipredict -cache-stats
 //	mpipredict -trace bt9.mpt -experiment table1
 //
-// Experiments: table1, figure1, figure2, figure3, figure4, all.
+// Experiments: table1, figure1, figure2, figure3, figure4, compare, all.
 //
-// With -trace, the named file (binary .mpt or JSONL, from cmd/tracegen)
-// replaces the simulator: table1 characterises the traced receiver and
-// figure3/figure4 evaluate prediction accuracy on its recorded streams.
-// With -cache-dir, simulated traces are persisted under the directory and
-// reused by later runs; a warm directory serves a full experiment grid
-// with zero simulator invocations (verify with -cache-stats).
+// With -predictor, the accuracy experiments (figure3, figure4, and the
+// figure replays) evaluate the named prediction strategy instead of the
+// paper's DPD; "compare" runs every registered strategy side by side on
+// one representative workload per benchmark. With -trace, the named file
+// (binary .mpt or JSONL, from cmd/tracegen) replaces the simulator:
+// table1 characterises the traced receiver and figure3/figure4 evaluate
+// prediction accuracy on its recorded streams. With -cache-dir, simulated
+// traces are persisted under the directory and reused by later runs; a
+// warm directory serves a full experiment grid with zero simulator
+// invocations (verify with -cache-stats).
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/report"
 	"mpipredict/internal/simnet"
+	"mpipredict/internal/strategy"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
@@ -51,7 +58,8 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("mpipredict", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	experiment := fs.String("experiment", "all", "experiment to run: table1, figure1, figure2, figure3, figure4, all")
+	experiment := fs.String("experiment", "all", "experiment to run: table1, figure1, figure2, figure3, figure4, compare, all")
+	predictorName := fs.String("predictor", "", fmt.Sprintf("prediction strategy for the accuracy experiments (one of %v; default %s)", strategy.Names(), strategy.Default))
 	seed := fs.Int64("seed", 1, "simulation seed")
 	iterations := fs.Int("iterations", 0, "override the per-workload iteration count (0 = class A defaults)")
 	noiseless := fs.Bool("noiseless", false, "disable network jitter and load imbalance")
@@ -69,6 +77,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *nocache && *cacheDir != "" {
 		return fmt.Errorf("-nocache and -cache-dir are mutually exclusive")
 	}
+	if *predictorName != "" {
+		if !strategy.Known(*predictorName) {
+			return fmt.Errorf("unknown -predictor %q (known: %v)", *predictorName, strategy.Names())
+		}
+		// Silently ignoring the flag would let the user believe it took
+		// effect: table1/figure1/figure2 characterise streams without
+		// running a predictor, and compare runs every strategy itself.
+		switch *experiment {
+		case "table1", "figure1", "figure2":
+			return fmt.Errorf("-predictor has no effect on -experiment %s (only the accuracy experiments figure3, figure4 and all evaluate a predictor); drop it", *experiment)
+		case "compare":
+			return fmt.Errorf("-predictor has no effect on -experiment compare (it runs every registered strategy); drop it")
+		}
+	}
 	if *tracePath != "" {
 		// A replay evaluates the file's recorded run and touches no cache;
 		// silently ignoring simulation/cache knobs would let the user
@@ -78,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	opts := evalx.Options{Seed: *seed, Iterations: *iterations, Net: simnet.DefaultConfig(), Parallelism: *parallel, NoCache: *nocache}
+	opts := evalx.Options{Seed: *seed, Iterations: *iterations, Net: simnet.DefaultConfig(), Parallelism: *parallel, NoCache: *nocache, Strategy: *predictorName}
 	if *noiseless {
 		opts.Net = simnet.NoiselessConfig()
 	}
@@ -190,6 +212,8 @@ func runExperiments(experiment string, opts evalx.Options, stdout io.Writer) err
 		return runFigures(opts, stdout, true, false)
 	case "figure4":
 		return runFigures(opts, stdout, false, true)
+	case "compare":
+		return runCompare(opts, stdout)
 	case "all":
 		if err := runTable1(opts, stdout); err != nil {
 			return err
@@ -204,6 +228,17 @@ func runExperiments(experiment string, opts evalx.Options, stdout io.Writer) err
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
+}
+
+// runCompare sets the DPD against every registered baseline strategy on
+// one representative spec per benchmark.
+func runCompare(opts evalx.Options, stdout io.Writer) error {
+	cmp, err := evalx.CompareStrategies(nil, nil, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, report.StrategyComparison(cmp))
+	return nil
 }
 
 func runTable1(opts evalx.Options, stdout io.Writer) error {

@@ -14,6 +14,7 @@ import (
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/report"
 	"mpipredict/internal/simnet"
+	"mpipredict/internal/strategy"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/workloads"
 )
@@ -252,5 +253,63 @@ func TestExperimentsSmokeTiny(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestPredictorFlagValidation(t *testing.T) {
+	_, _, err := runCLI(t, "-predictor", "nope")
+	if err == nil || !strings.Contains(err.Error(), "unknown -predictor") {
+		t.Fatalf("unknown predictor: got %v", err)
+	}
+	_, _, err = runCLI(t, "-experiment", "compare", "-predictor", "dpd")
+	if err == nil || !strings.Contains(err.Error(), "no effect on -experiment compare") {
+		t.Fatalf("compare with predictor: got %v", err)
+	}
+	// Strategy-independent experiments reject the flag instead of
+	// silently ignoring it.
+	for _, exp := range []string{"table1", "figure1", "figure2"} {
+		_, _, err = runCLI(t, "-experiment", exp, "-predictor", "lastvalue")
+		if err == nil || !strings.Contains(err.Error(), "no effect on -experiment "+exp) {
+			t.Fatalf("%s with predictor: got %v", exp, err)
+		}
+	}
+}
+
+// TestFigure3PredictorSelectsStrategy runs the tiny figure3 once with the
+// default DPD and once with the lastvalue baseline: both must succeed and
+// produce different accuracy tables (the flag demonstrably reaches the
+// evaluation).
+func TestFigure3PredictorSelectsStrategy(t *testing.T) {
+	dpd, _, err := runCLI(t, "-experiment", "figure3", "-iterations", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _, err := runCLI(t, "-experiment", "figure3", "-iterations", "2", "-predictor", "lastvalue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(flat, "Figure 3") {
+		t.Fatalf("missing figure header:\n%s", flat)
+	}
+	if dpd == flat {
+		t.Fatal("-predictor lastvalue produced the same figure as the DPD")
+	}
+}
+
+// TestCompareExperimentTiny smokes the strategy comparison end to end.
+func TestCompareExperimentTiny(t *testing.T) {
+	out, _, err := runCLI(t, "-experiment", "compare", "-iterations", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range append([]string{"Strategy comparison"}, strategy.Names()...) {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output misses %q:\n%s", want, out)
+		}
+	}
+	for _, app := range []string{"bt", "cg", "lu", "is", "sweep3d"} {
+		if !strings.Contains(out, app) {
+			t.Fatalf("comparison output misses workload %q:\n%s", app, out)
+		}
 	}
 }

@@ -8,8 +8,15 @@
 //
 //	mpipredictd -addr 127.0.0.1:8600 -snapshot state.mps
 //	mpipredictd -addr 127.0.0.1:8600 -snapshot state.mps -snapshot-interval 5m
+//	mpipredictd -addr 127.0.0.1:8600 -predictor markov1           # default strategy for new sessions
 //	mpipredictd -replay testdata/corpus/bt.4.mpt                  # serve and self-load
 //	mpipredictd -replay testdata/corpus/bt.4.mpt -target http://127.0.0.1:8600
+//
+// Each session runs one prediction strategy (internal/strategy), chosen
+// by the observe request's "predictor" field at session creation and
+// defaulting to -predictor (the DPD when unset). Snapshots persist the
+// strategy alongside the state, so a restart restores a heterogeneous
+// session mix exactly.
 //
 // With -target, the daemon acts as a replay client instead: it feeds the
 // trace through the target daemon's observe API (load generation /
@@ -39,7 +46,9 @@ import (
 	"time"
 
 	"mpipredict/internal/serve"
+	"mpipredict/internal/strategy"
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracecache"
 )
 
 // onListen, when non-nil, is invoked with the bound address once the
@@ -69,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	snapshotPath := fset.String("snapshot", "", "predictor state snapshot file: loaded at startup when present, written on shutdown")
 	snapshotEvery := fset.Duration("snapshot-interval", 0, "also checkpoint every interval (0 = only on shutdown)")
 	shards := fset.Int("shards", 64, "session registry shards")
+	predictorName := fset.String("predictor", "", fmt.Sprintf("default prediction strategy for new sessions (one of %v; default %s); observe requests may override per session", strategy.Names(), strategy.Default))
 	maxSessions := fset.Int("max-sessions", 65536, "max live sessions before LRU eviction")
 	idleTTL := fset.Duration("idle-ttl", serve.DefaultIdleTTL, "evict sessions idle this long (negative disables)")
 	sweepEvery := fset.Duration("sweep-interval", time.Minute, "how often to sweep idle sessions")
@@ -92,9 +102,12 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	if *target != "" {
 		// Client mode runs no server; silently ignoring server knobs would
 		// let the user believe they took effect.
-		if set := visitSet(fset, "addr", "snapshot", "snapshot-interval", "shards", "max-sessions", "idle-ttl", "sweep-interval"); len(set) > 0 {
+		if set := visitSet(fset, "addr", "snapshot", "snapshot-interval", "shards", "predictor", "max-sessions", "idle-ttl", "sweep-interval"); len(set) > 0 {
 			return fmt.Errorf("%v only affect the server and are ignored with -target; drop them", set)
 		}
+	}
+	if *predictorName != "" && !strategy.Known(*predictorName) {
+		return fmt.Errorf("unknown -predictor %q (known: %v)", *predictorName, strategy.Names())
 	}
 	if *snapshotEvery < 0 {
 		return fmt.Errorf("-snapshot-interval must not be negative")
@@ -119,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		Shards:      *shards,
 		MaxSessions: *maxSessions,
 		IdleTTL:     *idleTTL,
+		Strategy:    *predictorName,
 	})
 	if *snapshotPath != "" {
 		sessions, err := serve.LoadSnapshotFile(*snapshotPath)
@@ -154,7 +168,12 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		onListen(bound)
 	}
 
-	httpSrv := &http.Server{Handler: serve.NewServer(reg)}
+	srv := serve.NewServer(reg)
+	// Surface the shared trace cache (hit/miss, coalescing and disk-tier
+	// counters) on /debug/vars: any simulation the daemon process runs
+	// goes through it, and an idle all-zero gauge is itself informative.
+	srv.PublishVar("tracecache", func() interface{} { return tracecache.Shared.Stats() })
+	httpSrv := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 

@@ -17,7 +17,9 @@ import (
 
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/serve"
+	"mpipredict/internal/strategy"
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
 )
 
@@ -347,5 +349,161 @@ func TestReplayBatchRequiresReplay(t *testing.T) {
 	err := run([]string{"-replay-batch", "32"}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
 	if err == nil || !strings.Contains(err.Error(), "no effect without -replay") {
 		t.Fatalf("error = %v, want the -replay-batch conflict", err)
+	}
+}
+
+// observeWithPredictor posts one event naming a strategy for the session.
+// It returns the error instead of failing the test so concurrent callers
+// (worker goroutines must not call t.Fatal) can funnel failures back to
+// the test goroutine.
+func observeWithPredictor(baseURL, tenant, stream, pred string, sender, size int64) error {
+	body := fmt.Sprintf(`{"tenant":"%s","stream":"%s","predictor":"%s","events":[{"sender":%d,"size":%d}]}`,
+		tenant, stream, pred, sender, size)
+	resp, err := http.Post(baseURL+"/v1/observe", "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("observe with predictor %s returned %s", pred, resp.Status)
+	}
+	return nil
+}
+
+// sessionsOf fetches the daemon's session listing.
+func sessionsOf(t *testing.T, baseURL string) []serve.SessionInfo {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Sessions []serve.SessionInfo `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	return listing.Sessions
+}
+
+// TestDaemonHeterogeneousStrategiesWarmRestart is the strategy layer's
+// end-to-end acceptance: one daemon serves sessions with different
+// strategies concurrently, checkpoints them into one file, warm-restarts,
+// and the next checkpoint is byte-identical.
+func TestDaemonHeterogeneousStrategiesWarmRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.mps")
+	d := startDaemon(t, "-snapshot", snap)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(strategy.Names()))
+	for _, pred := range strategy.Names() {
+		wg.Add(1)
+		go func(pred string) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := observeWithPredictor(d.url(), "mix", pred, pred, int64(i%5), int64(10*(i%5))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(pred)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	sessions := sessionsOf(t, d.url())
+	if len(sessions) != len(strategy.Names()) {
+		t.Fatalf("daemon holds %d sessions, want %d", len(sessions), len(strategy.Names()))
+	}
+	for _, s := range sessions {
+		if s.Stream != s.Strategy {
+			t.Fatalf("session %q runs strategy %q", s.Stream, s.Strategy)
+		}
+	}
+	d.stop(t)
+	first, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d = startDaemon(t, "-snapshot", snap)
+	restored := sessionsOf(t, d.url())
+	if len(restored) != len(sessions) {
+		t.Fatalf("restart restored %d sessions, want %d", len(restored), len(sessions))
+	}
+	for _, s := range restored {
+		if s.Stream != s.Strategy {
+			t.Fatalf("restored session %q runs strategy %q", s.Stream, s.Strategy)
+		}
+		// Every restored session must still answer forecasts.
+		if _, ok := predict(t, d.url(), "mix", s.Stream, 3); !ok {
+			t.Fatalf("restored session %q lost its state", s.Stream)
+		}
+	}
+	d.stop(t)
+	second, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("warm restart checkpoint differs from the original byte stream")
+	}
+}
+
+// TestDaemonPredictorFlagSetsDefaultStrategy pins -predictor: sessions
+// created without an explicit strategy inherit it.
+func TestDaemonPredictorFlagSetsDefaultStrategy(t *testing.T) {
+	d := startDaemon(t, "-predictor", "lastvalue")
+	defer d.stop(t)
+	observeOne(t, d.url(), "t", "s", 7, 70)
+	sessions := sessionsOf(t, d.url())
+	if len(sessions) != 1 || sessions[0].Strategy != "lastvalue" {
+		t.Fatalf("sessions = %+v, want one lastvalue session", sessions)
+	}
+	pr, ok := predict(t, d.url(), "t", "s", 3)
+	if !ok {
+		t.Fatal("session missing")
+	}
+	for _, f := range pr.Forecasts {
+		if !f.OK || f.Sender != 7 || f.Size != 70 {
+			t.Fatalf("lastvalue forecast %+v", f)
+		}
+	}
+}
+
+// TestDaemonDebugVarsIncludesTraceCache pins the /debug/vars wiring of the
+// shared trace cache counters (disk tier included).
+func TestDaemonDebugVarsIncludesTraceCache(t *testing.T) {
+	d := startDaemon(t)
+	defer d.stop(t)
+	resp, err := http.Get(d.url() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		TraceCache *tracecache.Stats `json:"tracecache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.TraceCache == nil {
+		t.Fatal("/debug/vars misses the tracecache group")
+	}
+	if vars.TraceCache.DiskErrors != 0 {
+		t.Fatalf("unexpected disk errors: %+v", vars.TraceCache)
+	}
+}
+
+func TestDaemonPredictorFlagValidation(t *testing.T) {
+	err := run([]string{"-predictor", "nope"}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown -predictor") {
+		t.Fatalf("unknown predictor: got %v", err)
+	}
+	err = run([]string{"-replay", corpusBT4, "-target", "http://x", "-predictor", "dpd"}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "ignored with -target") {
+		t.Fatalf("predictor with -target: got %v", err)
 	}
 }

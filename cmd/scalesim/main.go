@@ -8,9 +8,14 @@
 //	scalesim -mode memory   -workload bt -procs 25
 //	scalesim -mode credits  -workload is -procs 32
 //	scalesim -mode protocol -workload lu -procs 4
+//	scalesim -mode memory   -predictor lastvalue
 //	scalesim -mode memory   -trace bt25.mpt
 //	scalesim -mode memory   -cache-dir ~/.cache/mpipredict -cache-stats
 //	scalesim -mode static-sweep
+//
+// With -predictor, the replayed mechanism forecasts with the named
+// prediction strategy instead of the paper's DPD, which quantifies how
+// much of each mechanism's win comes from the predictor quality.
 //
 // With -trace, the named file (from cmd/tracegen) replaces the simulator
 // and the replay runs against its recorded streams. With -cache-dir, the
@@ -27,9 +32,12 @@ import (
 	"io"
 	"os"
 
+	"mpipredict/internal/core"
+	"mpipredict/internal/predictor"
 	"mpipredict/internal/report"
 	"mpipredict/internal/scalability"
 	"mpipredict/internal/simnet"
+	"mpipredict/internal/strategy"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
@@ -50,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("scalesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	mode := fs.String("mode", "memory", "mechanism to evaluate: memory, credits, protocol, static-sweep")
+	predictorName := fs.String("predictor", "", fmt.Sprintf("prediction strategy driving the replay (one of %v; default %s)", strategy.Names(), strategy.Default))
 	name := fs.String("workload", "bt", "workload name")
 	procs := fs.Int("procs", 25, "number of simulated processes")
 	iterations := fs.Int("iterations", 0, "iteration override (0 = class A default)")
@@ -96,9 +105,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}()
 	}
 
+	if *predictorName != "" && !strategy.Known(*predictorName) {
+		return fmt.Errorf("unknown -predictor %q (known: %v)", *predictorName, strategy.Names())
+	}
 	if *mode == "static-sweep" {
 		if *tracePath != "" {
 			return fmt.Errorf("-trace is ignored by -mode static-sweep; drop it")
+		}
+		if *predictorName != "" {
+			// The sweep is a closed-form computation with no predictor in it.
+			return fmt.Errorf("-predictor is ignored by -mode static-sweep; drop it")
 		}
 		if *cacheDir != "" || *cacheStats {
 			// The sweep is a closed-form computation; printing all-zero
@@ -112,7 +128,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return replay(*mode, tr, receiver, stdout)
+	return replay(*mode, tr, receiver, *predictorName, stdout)
+}
+
+// forecaster builds the message-level forecaster for the named strategy,
+// or nil (letting the mechanism configs default to the DPD) when the flag
+// was not set.
+func forecaster(name string) (*predictor.MessagePredictor, error) {
+	if name == "" {
+		return nil, nil
+	}
+	sender, err := strategy.New(name, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	size, err := strategy.New(name, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return predictor.NewMessagePredictor(predictor.FromStrategy(sender), predictor.FromStrategy(size)), nil
 }
 
 // replaySource produces the trace and receiver to replay: loaded from the
@@ -159,22 +193,26 @@ func staticSweep(stdout io.Writer) {
 	}
 }
 
-func replay(mode string, tr *trace.Trace, receiver int, stdout io.Writer) error {
+func replay(mode string, tr *trace.Trace, receiver int, predictorName string, stdout io.Writer) error {
+	fc, err := forecaster(predictorName)
+	if err != nil {
+		return err
+	}
 	switch mode {
 	case "memory":
-		stats, err := scalability.ReplayBuffers(tr, receiver, scalability.BufferConfig{})
+		stats, err := scalability.ReplayBuffers(tr, receiver, scalability.BufferConfig{Forecaster: fc})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, report.Buffers(tr.App, tr.Procs, stats))
 	case "credits":
-		stats, err := scalability.ReplayCredits(tr, receiver, 0, scalability.CreditConfig{})
+		stats, err := scalability.ReplayCredits(tr, receiver, 0, scalability.CreditConfig{Forecaster: fc})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, report.Credits(tr.App, tr.Procs, stats))
 	case "protocol":
-		stats, err := scalability.ReplayProtocol(tr, receiver, scalability.ProtocolConfig{})
+		stats, err := scalability.ReplayProtocol(tr, receiver, scalability.ProtocolConfig{Forecaster: fc})
 		if err != nil {
 			return err
 		}

@@ -193,3 +193,35 @@ func TestStaticSweepRejectsCacheFlags(t *testing.T) {
 		t.Fatalf("error = %v, want the static-sweep conflict", err)
 	}
 }
+
+func TestPredictorFlagValidation(t *testing.T) {
+	_, _, err := runCLI(t, "-predictor", "nope")
+	if err == nil || !strings.Contains(err.Error(), "unknown -predictor") {
+		t.Fatalf("unknown predictor: got %v", err)
+	}
+	_, _, err = runCLI(t, "-mode", "static-sweep", "-predictor", "dpd")
+	if err == nil || !strings.Contains(err.Error(), "ignored by -mode static-sweep") {
+		t.Fatalf("static-sweep with predictor: got %v", err)
+	}
+}
+
+// TestPredictorFlagChangesReplay runs the memory mechanism with the DPD
+// and with the lastvalue baseline on the same tiny workload: both succeed
+// and report different outcomes, proving the strategy reaches the replay.
+func TestPredictorFlagChangesReplay(t *testing.T) {
+	args := []string{"-mode", "memory", "-workload", "bt", "-procs", "4", "-iterations", "2"}
+	dpd, _, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, _, err := runCLI(t, append(args, "-predictor", "lastvalue")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(flat, "bt") {
+		t.Fatalf("missing report body:\n%s", flat)
+	}
+	if dpd == flat {
+		t.Fatal("-predictor lastvalue produced the same buffer report as the DPD")
+	}
+}

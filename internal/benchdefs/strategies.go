@@ -1,0 +1,57 @@
+package benchdefs
+
+// The per-strategy benchmark bodies: steady-state observe and predict
+// throughput of every registered prediction strategy on the BT.9-shaped
+// periodic stream, dispatched through the Strategy interface exactly as
+// the serving and evaluation layers dispatch it. Shared by the root
+// bench_test.go and cmd/benchjson so the committed BENCH_<n>.json
+// per-strategy numbers measure what `go test -bench .` measures.
+
+import (
+	"fmt"
+
+	"mpipredict/internal/core"
+	"mpipredict/internal/strategy"
+)
+
+// StrategyBenchEnv is one warmed strategy ready for steady-state
+// measurement: trained past any learning transient on a period-18 stream
+// (ServeBenchPeriod, the BT.9 iteration pattern of Figure 1).
+type StrategyBenchEnv struct {
+	S strategy.Strategy
+
+	i   int
+	buf []core.Prediction
+}
+
+// NewStrategyBenchEnv builds and warms the named strategy.
+func NewStrategyBenchEnv(name string) (*StrategyBenchEnv, error) {
+	s, err := strategy.New(name, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	env := &StrategyBenchEnv{S: s, buf: make([]core.Prediction, 0, 5)}
+	warm := 4 * core.DefaultConfig().WindowSize
+	warm -= warm % ServeBenchPeriod
+	for i := 0; i < warm; i++ {
+		env.Observe()
+	}
+	return env, nil
+}
+
+// Observe feeds the next event of the periodic stream.
+func (e *StrategyBenchEnv) Observe() {
+	e.S.Observe(int64(e.i % ServeBenchPeriod))
+	e.i++
+}
+
+// Predict issues one +1..+5 series query into the reused buffer and
+// verifies the strategy answered (every registered strategy predicts on
+// this stream once warmed).
+func (e *StrategyBenchEnv) Predict() error {
+	e.buf = e.S.PredictSeriesInto(e.buf[:0], 5)
+	if len(e.buf) != 5 {
+		return fmt.Errorf("strategy %s returned %d predictions, want 5", e.S.Desc().Name, len(e.buf))
+	}
+	return nil
+}

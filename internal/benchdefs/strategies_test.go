@@ -1,0 +1,28 @@
+package benchdefs
+
+import (
+	"testing"
+
+	"mpipredict/internal/strategy"
+)
+
+// TestStrategyBenchEnv sanity-checks the per-strategy benchmark bodies:
+// every registered strategy warms, observes and answers the +1..+5 query
+// (the properties the benchmark loops assume), and unknown names error.
+func TestStrategyBenchEnv(t *testing.T) {
+	for _, name := range strategy.Names() {
+		env, err := NewStrategyBenchEnv(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < 3*ServeBenchPeriod; i++ {
+			env.Observe()
+		}
+		if err := env.Predict(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := NewStrategyBenchEnv("no-such-strategy"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}

@@ -102,6 +102,10 @@ func NewStreamPredictor(cfg Config) *StreamPredictor {
 // State returns the current lock state.
 func (p *StreamPredictor) State() LockState { return p.state }
 
+// Config returns the predictor's effective configuration (defaults
+// resolved).
+func (p *StreamPredictor) Config() Config { return p.cfg }
+
 // Period returns the length of the currently locked pattern, or the
 // detector's current period while learning. ok is false when neither is
 // available.

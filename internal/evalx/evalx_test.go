@@ -1,6 +1,7 @@
 package evalx
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -145,10 +146,11 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Net == (simnet.Config{}) {
 		t.Error("default net config should be filled in")
 	}
-	if o.Predictor == nil {
-		t.Error("default predictor factory should be set")
+	factory, name, err := o.factory()
+	if err != nil || factory == nil || name != "dpd" {
+		t.Fatalf("default predictor factory should resolve to dpd, got (%q, %v)", name, err)
 	}
-	if p := o.Predictor(); p.Name() != "dpd" {
+	if p := factory(); p.Name() != "dpd" {
 		t.Errorf("default predictor should be the DPD, got %s", p.Name())
 	}
 }
@@ -385,5 +387,105 @@ func TestEvaluateStreamWithCustomDPDConfig(t *testing.T) {
 	acc := EvaluateStream(stream, factory, 3)
 	if acc.Accuracy(1) < 0.9 {
 		t.Errorf("custom DPD config accuracy=%.3f want >= 0.9", acc.Accuracy(1))
+	}
+}
+
+// TestOptionsStrategySelectsPredictor pins the declarative strategy
+// selection: an explicit "dpd" strategy is hit-for-hit identical to the
+// default path, a baseline strategy actually changes the evaluation, and
+// unknown names fail loudly.
+func TestOptionsStrategySelectsPredictor(t *testing.T) {
+	spec := workloads.Spec{Name: "bt", Procs: 4}
+	base := Options{Seed: 1, Iterations: 2}
+
+	def, err := RunExperiment(spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Strategy != "dpd" {
+		t.Fatalf("default result strategy %q, want dpd", def.Strategy)
+	}
+
+	viaName := base
+	viaName.Strategy = "dpd"
+	got, err := RunExperiment(spec, viaName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, def) {
+		t.Fatal("Strategy \"dpd\" result differs from the default DPD path")
+	}
+
+	lv := base
+	lv.Strategy = "lastvalue"
+	flat, err := RunExperiment(spec, lv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Strategy != "lastvalue" {
+		t.Fatalf("lastvalue result strategy %q", flat.Strategy)
+	}
+	if reflect.DeepEqual(flat.Sender, def.Sender) {
+		t.Fatal("lastvalue produced the same accuracies as the DPD — the strategy was not threaded through")
+	}
+
+	bad := base
+	bad.Strategy = "no-such-strategy"
+	if _, err := RunExperiment(spec, bad); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+// TestCompareStrategies pins the comparison sweep's shape and the headline
+// ordering the strategy layer exists to demonstrate: on the periodic BT
+// logical stream the DPD beats the lastvalue floor.
+func TestCompareStrategies(t *testing.T) {
+	specs := []workloads.Spec{{Name: "bt", Procs: 4}, {Name: "lu", Procs: 4}}
+	cmp, err := CompareStrategies([]string{"dpd", "lastvalue", "markov1"}, specs, Options{Seed: 1, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 2 || cmp.Horizons != DefaultHorizons {
+		t.Fatalf("comparison shape: %+v", cmp)
+	}
+	for _, row := range cmp.Rows {
+		for _, name := range cmp.Strategies {
+			if _, ok := row.Logical[name]; !ok {
+				t.Fatalf("row %s.%d misses strategy %s", row.App, row.Procs, name)
+			}
+		}
+		if row.Logical["dpd"] <= row.Logical["lastvalue"] {
+			t.Errorf("%s.%d: dpd (%.3f) does not beat lastvalue (%.3f) on the logical stream",
+				row.App, row.Procs, row.Logical["dpd"], row.Logical["lastvalue"])
+		}
+	}
+	if _, err := CompareStrategies(nil, specs, Options{Seed: 1, Iterations: 2, Predictor: DefaultPredictor}); err == nil {
+		t.Fatal("CompareStrategies accepted an explicit Predictor factory")
+	}
+}
+
+// TestCompareStrategiesDefaults pins the nil-argument behavior: all
+// registered strategies over one representative spec per benchmark.
+func TestCompareStrategiesDefaults(t *testing.T) {
+	cmp, err := CompareStrategies(nil, nil, Options{Seed: 1, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := ComparisonSpecs()
+	if len(cmp.Rows) != len(specs) {
+		t.Fatalf("default comparison has %d rows, want %d", len(cmp.Rows), len(specs))
+	}
+	apps := map[string]bool{}
+	for i, row := range cmp.Rows {
+		if row.App != specs[i].Name || row.Procs != specs[i].Procs {
+			t.Fatalf("row %d is %s.%d, want %s.%d", i, row.App, row.Procs, specs[i].Name, specs[i].Procs)
+		}
+		apps[row.App] = true
+	}
+	if len(apps) != 5 {
+		t.Fatalf("default specs cover %d distinct workloads, want all 5", len(apps))
+	}
+	if len(cmp.Strategies) < 3 {
+		t.Fatalf("default comparison covers %v, want every registered strategy", cmp.Strategies)
 	}
 }

@@ -3,7 +3,10 @@ package evalx
 import (
 	"fmt"
 
+	"mpipredict/internal/core"
+	"mpipredict/internal/predictor"
 	"mpipredict/internal/simnet"
+	"mpipredict/internal/strategy"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
@@ -32,6 +35,12 @@ type Options struct {
 	Horizons int
 	// Predictor builds the predictor to evaluate (default: the DPD).
 	Predictor PredictorFactory
+	// Strategy selects the predictor by registered strategy name
+	// (internal/strategy: "dpd", "lastvalue", "markov1", ...). It is the
+	// declarative sibling of Predictor — the CLIs thread their -predictor
+	// flags through it — and is ignored when Predictor is set. Empty means
+	// the paper's DPD; unknown names fail the experiment.
+	Strategy string
 	// Iterations overrides the workload's outer iteration count (0 keeps
 	// the class-A default). The figure experiments keep the default; the
 	// unit tests shrink it.
@@ -60,10 +69,34 @@ func (o Options) withDefaults() Options {
 	if o.Horizons == 0 {
 		o.Horizons = DefaultHorizons
 	}
-	if o.Predictor == nil {
-		o.Predictor = DefaultPredictor
-	}
 	return o
+}
+
+// factory resolves the predictor factory the options select — an explicit
+// Predictor wins, then a named Strategy (built fresh per evaluated stream
+// through the strategy registry), then the paper's DPD — along with the
+// predictor name for Result.Strategy. Only the explicit-Predictor branch
+// probes an instance for its name; the named branches know it statically.
+func (o Options) factory() (PredictorFactory, string, error) {
+	if o.Predictor != nil {
+		return o.Predictor, o.Predictor().Name(), nil
+	}
+	if o.Strategy != "" {
+		if !strategy.Known(o.Strategy) {
+			return nil, "", fmt.Errorf("evalx: unknown strategy %q (known: %v)", o.Strategy, strategy.Names())
+		}
+		name := o.Strategy
+		return func() predictor.Predictor {
+			s, err := strategy.New(name, core.DefaultConfig())
+			if err != nil {
+				// Known was checked above; a failure here is a programming
+				// error in the registry.
+				panic(err)
+			}
+			return predictor.FromStrategy(s)
+		}, name, nil
+	}
+	return DefaultPredictor, strategy.Default, nil
 }
 
 // Result is the outcome of one (workload, process count) experiment: the
@@ -73,6 +106,10 @@ type Result struct {
 	App      string
 	Procs    int
 	Receiver int
+
+	// Strategy is the name of the predictor that produced the accuracy
+	// numbers (the evaluated predictor's own Name; "dpd" by default).
+	Strategy string
 
 	// Characterisation of the receiver's logical stream (Table 1 row).
 	Characterization trace.Characterization
@@ -150,10 +187,15 @@ func runExperimentCached(spec workloads.Spec, opts Options, cache *tracecache.Ca
 // given receiver. It is used directly by tools that load traces from disk.
 func EvaluateTrace(tr *trace.Trace, receiver int, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	factory, name, err := opts.factory()
+	if err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		App:              tr.App,
 		Procs:            tr.Procs,
 		Receiver:         receiver,
+		Strategy:         name,
 		Characterization: tr.Characterize(receiver, trace.Logical, 0.99),
 		Sender:           make(map[trace.Level]StreamAccuracy),
 		Size:             make(map[trace.Level]StreamAccuracy),
@@ -165,10 +207,10 @@ func EvaluateTrace(tr *trace.Trace, receiver int, opts Options) (Result, error) 
 		return Result{}, fmt.Errorf("evalx: receiver %d has no logical records in trace %q", receiver, tr.App)
 	}
 	for _, level := range []trace.Level{trace.Logical, trace.Physical} {
-		res.Sender[level] = EvaluateStream(tr.SenderStreamShared(receiver, level), opts.Predictor, opts.Horizons)
-		res.Size[level] = EvaluateStream(tr.SizeStreamShared(receiver, level), opts.Predictor, opts.Horizons)
+		res.Sender[level] = EvaluateStream(tr.SenderStreamShared(receiver, level), factory, opts.Horizons)
+		res.Size[level] = EvaluateStream(tr.SizeStreamShared(receiver, level), factory, opts.Horizons)
 	}
-	res.SenderSetAccuracy = SetAccuracy(tr.SenderStreamShared(receiver, trace.Physical), opts.Predictor, opts.Horizons)
+	res.SenderSetAccuracy = SetAccuracy(tr.SenderStreamShared(receiver, trace.Physical), factory, opts.Horizons)
 	res.Reordering = MismatchFraction(
 		logicalSenders,
 		tr.SenderStreamShared(receiver, trace.Physical),

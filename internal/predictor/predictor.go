@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"mpipredict/internal/core"
+	"mpipredict/internal/strategy"
 )
 
 // Predictor is an online, single-stream value predictor.
@@ -75,6 +76,22 @@ func init() {
 	Register("cycle", func() Predictor { return NewCycle(512) })
 	Register("successor", func() Predictor { return NewSuccessor() })
 }
+
+// strategyAdapter exposes a strategy.Strategy as a Predictor, so the
+// registry-selected strategies plug into everything built on this
+// package's interface (the evaluation harness, the message-level
+// forecasters of the scalability replays).
+type strategyAdapter struct {
+	strategy.Strategy
+}
+
+// Name implements Predictor.
+func (a strategyAdapter) Name() string { return a.Desc().Name }
+
+// FromStrategy adapts a prediction strategy to the Predictor interface.
+// The adapter forwards Observe/Predict/Reset directly, so it adds no
+// behavior (and no allocations) on the hot path.
+func FromStrategy(s strategy.Strategy) Predictor { return strategyAdapter{s} }
 
 // DPD adapts core.StreamPredictor (the paper's contribution) to the
 // Predictor interface.
@@ -191,6 +208,11 @@ func (p *MostFrequent) Reset() {
 // frequent continuation. Multi-step predictions chain the most likely
 // transitions. The paper points out that such models need more training
 // than the DPD and do not expose the pattern length.
+//
+// Note: strategy.Markov1 (the serving/eval-grade "markov1" of the
+// strategy registry) is a distinct implementation with a different
+// tie-break (earliest-interned value rather than smallest value) chosen
+// for exact snapshot/restore; on successor ties the two can disagree.
 type Markov struct {
 	order   int
 	history []int64

@@ -181,3 +181,25 @@ func formatBytes(n int64) string {
 		return fmt.Sprintf("%d B", n)
 	}
 }
+
+// StrategyComparison renders the per-strategy accuracy comparison: one row
+// per workload, one "logical | physical" column per strategy, mean
+// +1..+k sender-stream accuracy as percentages.
+func StrategyComparison(cmp evalx.StrategyComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Strategy comparison — mean +1..+%d sender accuracy, %% (logical | physical)\n", cmp.Horizons)
+	fmt.Fprintf(&b, "%-8s %5s", "app", "procs")
+	for _, name := range cmp.Strategies {
+		fmt.Fprintf(&b, " %15s", name)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range cmp.Rows {
+		fmt.Fprintf(&b, "%-8s %5d", row.App, row.Procs)
+		for _, name := range cmp.Strategies {
+			cell := fmt.Sprintf("%5.1f | %5.1f", 100*row.Logical[name], 100*row.Physical[name])
+			fmt.Fprintf(&b, " %15s", cell)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -113,3 +113,23 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestStrategyComparisonRendering(t *testing.T) {
+	cmp := evalx.StrategyComparison{
+		Strategies: []string{"dpd", "lastvalue"},
+		Horizons:   5,
+		Rows: []evalx.StrategyComparisonRow{
+			{
+				App: "bt", Procs: 4,
+				Logical:  map[string]float64{"dpd": 0.986, "lastvalue": 0.42},
+				Physical: map[string]float64{"dpd": 0.872, "lastvalue": 0.40},
+			},
+		},
+	}
+	out := StrategyComparison(cmp)
+	for _, want := range []string{"dpd", "lastvalue", "bt", "98.6 |  87.2", "42.0 |  40.0", "+1..+5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output misses %q:\n%s", want, out)
+		}
+	}
+}

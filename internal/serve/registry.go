@@ -15,12 +15,14 @@ package serve
 
 import (
 	"container/list"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"mpipredict/internal/core"
+	"mpipredict/internal/strategy"
 )
 
 // Config parameterizes a Registry. The zero value takes the defaults
@@ -40,8 +42,13 @@ type Config struct {
 	// negative value disables idle eviction.
 	IdleTTL time.Duration
 	// Predictor configures the DPD predictors of new sessions (zero
-	// fields take core defaults).
+	// fields take core defaults). Strategies without tunables ignore it.
 	Predictor core.Config
+	// Strategy is the prediction strategy of sessions that do not request
+	// one explicitly (strategy.Default when empty). It must be a
+	// registered strategy name; NewRegistry panics otherwise, because an
+	// unknown default would make every implicit session creation fail.
+	Strategy string
 	// Clock overrides the time source (tests). Default time.Now.
 	Clock func() time.Time
 }
@@ -64,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTTL == 0 {
 		c.IdleTTL = DefaultIdleTTL
+	}
+	if c.Strategy == "" {
+		c.Strategy = strategy.Default
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -94,15 +104,25 @@ type Forecast struct {
 	OK bool `json:"ok"`
 }
 
-// SessionInfo is the introspection view of one session.
+// SessionInfo is the introspection view of one session. SenderState,
+// SenderPeriod and their size twins carry the DPD's learning/locked state
+// and detected period; strategies without that notion report "n/a" and
+// omit the period.
 type SessionInfo struct {
-	Tenant       string  `json:"tenant"`
-	Stream       string  `json:"stream"`
-	Observed     int64   `json:"observed"`
-	SenderState  string  `json:"sender_state"`
-	SenderPeriod int     `json:"sender_period,omitempty"`
-	SizeState    string  `json:"size_state"`
-	SizePeriod   int     `json:"size_period,omitempty"`
+	Tenant       string `json:"tenant"`
+	Stream       string `json:"stream"`
+	Strategy     string `json:"strategy"`
+	Observed     int64  `json:"observed"`
+	SenderState  string `json:"sender_state"`
+	SenderPeriod int    `json:"sender_period,omitempty"`
+	SizeState    string `json:"size_state"`
+	SizePeriod   int    `json:"size_period,omitempty"`
+	// CreatedUnix and LastSeenUnix are Unix seconds of session creation
+	// and the most recent observe/forecast. Snapshot files deliberately
+	// hold no timestamps (the byte-stability contract), so after a warm
+	// restart both report the restore time, not the original creation.
+	CreatedUnix  int64   `json:"created_unix"`
+	LastSeenUnix int64   `json:"last_observe_unix"`
 	IdleSeconds  float64 `json:"idle_s"`
 }
 
@@ -122,16 +142,19 @@ type sessionKey struct {
 	tenant, stream string
 }
 
-// session is the per-(tenant, stream) state: one DPD predictor for the
-// sender stream, one for the size stream, and bookkeeping for eviction.
-// Sessions are owned by exactly one shard and only touched under its lock,
-// which serializes each session's observation order — the property the
-// per-session determinism tests pin.
+// session is the per-(tenant, stream) state: one prediction strategy for
+// the sender stream, one for the size stream, and bookkeeping for
+// eviction. The strategy is fixed at session creation (first observe) and
+// shared by both streams. Sessions are owned by exactly one shard and only
+// touched under its lock, which serializes each session's observation
+// order — the property the per-session determinism tests pin.
 type session struct {
 	key      sessionKey
-	sender   *core.StreamPredictor
-	size     *core.StreamPredictor
+	strategy string
+	sender   strategy.Strategy
+	size     strategy.Strategy
 	observed int64
+	created  time.Time
 	lastSeen time.Time
 	elem     *list.Element
 }
@@ -159,9 +182,14 @@ type Registry struct {
 }
 
 // NewRegistry returns an empty registry. The shard array is fixed at
-// construction; it never grows or rehashes.
+// construction; it never grows or rehashes. It panics when cfg.Strategy
+// names an unregistered strategy (a programming error; the daemon
+// validates its flag before constructing).
 func NewRegistry(cfg Config) *Registry {
 	cfg = cfg.withDefaults()
+	if !strategy.Known(cfg.Strategy) {
+		panic(fmt.Sprintf("serve: unknown default strategy %q (known: %v)", cfg.Strategy, strategy.Names()))
+	}
 	perShard := cfg.MaxSessions / cfg.Shards
 	if perShard < 1 {
 		perShard = 1
@@ -191,25 +219,50 @@ func (r *Registry) shardFor(tenant, stream string) *shard {
 	return &r.shards[h%uint64(len(r.shards))]
 }
 
+// ErrStrategyMismatch is returned when an observe names a strategy that
+// differs from the one an existing session was created with. A session's
+// strategy is fixed at first observe; requests that omit the strategy
+// (strat == "") always match.
+var ErrStrategyMismatch = fmt.Errorf("serve: session strategy mismatch")
+
 // getLocked returns the session for key, creating it (and evicting the
-// shard's LRU session if the shard is full) when absent. Caller holds
-// sh.mu.
-func (r *Registry) getLocked(sh *shard, tenant, stream string) *session {
+// shard's LRU session if the shard is full) when absent. A new session is
+// built with the strat strategy (empty selects the registry default); an
+// existing session is only returned when strat is empty or matches.
+// Caller holds sh.mu.
+func (r *Registry) getLocked(sh *shard, tenant, stream, strat string) (*session, error) {
 	key := sessionKey{tenant, stream}
 	if s := sh.sessions[key]; s != nil {
+		if strat != "" && strat != s.strategy {
+			return nil, fmt.Errorf("%w: session %s/%s uses %q, request asked for %q",
+				ErrStrategyMismatch, tenant, stream, s.strategy, strat)
+		}
 		sh.lru.MoveToFront(s.elem)
-		return s
+		return s, nil
+	}
+	if strat == "" {
+		strat = r.cfg.Strategy
+	}
+	sender, err := strategy.New(strat, r.cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	size, err := strategy.New(strat, r.cfg.Predictor)
+	if err != nil {
+		return nil, err
 	}
 	r.evictForRoomLocked(sh)
 	s := &session{
-		key:    key,
-		sender: core.NewStreamPredictor(r.cfg.Predictor),
-		size:   core.NewStreamPredictor(r.cfg.Predictor),
+		key:      key,
+		strategy: strat,
+		sender:   sender,
+		size:     size,
+		created:  r.cfg.Clock(),
 	}
 	s.elem = sh.lru.PushFront(s)
 	sh.sessions[key] = s
 	r.created.Add(1)
-	return s
+	return s, nil
 }
 
 func (r *Registry) removeLocked(sh *shard, s *session) {
@@ -239,30 +292,73 @@ func keyLess(t1, s1, t2, s2 string) bool {
 	return s1 < s2
 }
 
-// Observe feeds one event to the (tenant, stream) session, creating it on
-// first use. This is the service hot path: for an existing session it
-// performs zero heap allocations.
+// Observe feeds one event to the (tenant, stream) session, creating it
+// with the registry's default strategy on first use. This is the service
+// hot path: for an existing session it performs zero heap allocations.
 func (r *Registry) Observe(tenant, stream string, ev Event) {
+	// The default strategy is validated at construction and "" never
+	// mismatches, so the error is impossible here.
+	r.ObserveAs(tenant, stream, "", ev)
+}
+
+// ObserveAs is Observe with an explicit strategy: a new session is created
+// with the strat strategy (empty selects the registry default), and an
+// existing session rejects a non-empty strat that differs from its own
+// (ErrStrategyMismatch) or an unknown name.
+func (r *Registry) ObserveAs(tenant, stream, strat string, ev Event) error {
 	sh := r.shardFor(tenant, stream)
 	sh.mu.Lock()
-	s := r.getLocked(sh, tenant, stream)
+	s, err := r.getLocked(sh, tenant, stream, strat)
+	if err != nil {
+		sh.mu.Unlock()
+		return err
+	}
 	s.sender.Observe(ev.Sender)
 	s.size.Observe(ev.Size)
 	s.observed++
 	s.lastSeen = r.cfg.Clock()
 	sh.mu.Unlock()
 	r.events.Add(1)
+	return nil
 }
 
 // ObserveBatch feeds a batch of events under a single shard lock and
 // returns the session's total observed count afterwards.
 func (r *Registry) ObserveBatch(tenant, stream string, events []Event) int64 {
+	total, _ := r.ObserveBatchAs(tenant, stream, "", events)
+	return total
+}
+
+// ObserveBatchAs is ObserveBatch with an explicit strategy, following the
+// same creation/mismatch rules as ObserveAs. No event is observed when the
+// strategy is rejected. An empty batch creates no session but still
+// applies the name and mismatch validation, so a caller probing with zero
+// events learns the same verdict a real batch would get.
+func (r *Registry) ObserveBatchAs(tenant, stream, strat string, events []Event) (int64, error) {
 	if len(events) == 0 {
-		return r.observedCount(tenant, stream)
+		if strat != "" && !strategy.Known(strat) {
+			return 0, fmt.Errorf("serve: unknown strategy %q (known: %v)", strat, strategy.Names())
+		}
+		sh := r.shardFor(tenant, stream)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		s := sh.sessions[sessionKey{tenant, stream}]
+		if s == nil {
+			return 0, nil
+		}
+		if strat != "" && strat != s.strategy {
+			return 0, fmt.Errorf("%w: session %s/%s uses %q, request asked for %q",
+				ErrStrategyMismatch, tenant, stream, s.strategy, strat)
+		}
+		return s.observed, nil
 	}
 	sh := r.shardFor(tenant, stream)
 	sh.mu.Lock()
-	s := r.getLocked(sh, tenant, stream)
+	s, err := r.getLocked(sh, tenant, stream, strat)
+	if err != nil {
+		sh.mu.Unlock()
+		return 0, err
+	}
 	for _, ev := range events {
 		s.sender.Observe(ev.Sender)
 		s.size.Observe(ev.Size)
@@ -272,17 +368,7 @@ func (r *Registry) ObserveBatch(tenant, stream string, events []Event) int64 {
 	total := s.observed
 	sh.mu.Unlock()
 	r.events.Add(int64(len(events)))
-	return total
-}
-
-func (r *Registry) observedCount(tenant, stream string) int64 {
-	sh := r.shardFor(tenant, stream)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if s := sh.sessions[sessionKey{tenant, stream}]; s != nil {
-		return s.observed
-	}
-	return 0
+	return total, nil
 }
 
 // ForecastInto appends forecasts for the next k messages of the session to
@@ -333,20 +419,41 @@ func (r *Registry) Info(tenant, stream string) (SessionInfo, bool) {
 
 func (r *Registry) infoLocked(s *session) SessionInfo {
 	info := SessionInfo{
-		Tenant:      s.key.tenant,
-		Stream:      s.key.stream,
-		Observed:    s.observed,
-		SenderState: s.sender.State().String(),
-		SizeState:   s.size.State().String(),
-		IdleSeconds: r.cfg.Clock().Sub(s.lastSeen).Seconds(),
+		Tenant:       s.key.tenant,
+		Stream:       s.key.stream,
+		Strategy:     s.strategy,
+		Observed:     s.observed,
+		SenderState:  strategyState(s.sender),
+		SizeState:    strategyState(s.size),
+		CreatedUnix:  s.created.Unix(),
+		LastSeenUnix: s.lastSeen.Unix(),
+		IdleSeconds:  r.cfg.Clock().Sub(s.lastSeen).Seconds(),
 	}
-	if p, ok := s.sender.Period(); ok {
+	if p, ok := strategyPeriod(s.sender); ok {
 		info.SenderPeriod = p
 	}
-	if p, ok := s.size.Period(); ok {
+	if p, ok := strategyPeriod(s.size); ok {
 		info.SizePeriod = p
 	}
 	return info
+}
+
+// strategyState reports a strategy's discrete state when it has one (the
+// DPD's learning/locked); strategies without the notion report "n/a".
+func strategyState(st strategy.Strategy) string {
+	if r, ok := st.(strategy.StateReporter); ok {
+		return r.PredictorState()
+	}
+	return "n/a"
+}
+
+// strategyPeriod reports a strategy's detected pattern length when it
+// exposes one.
+func strategyPeriod(st strategy.Strategy) (int, bool) {
+	if r, ok := st.(strategy.PeriodReporter); ok {
+		return r.PredictorPeriod()
+	}
+	return 0, false
 }
 
 // Sessions lists every live session, sorted by (tenant, stream) so the
@@ -438,6 +545,7 @@ func (r *Registry) SnapshotSessions() []SessionSnapshot {
 			out = append(out, SessionSnapshot{
 				Tenant:   s.key.tenant,
 				Stream:   s.key.stream,
+				Strategy: s.strategy,
 				Observed: s.observed,
 				Sender:   s.sender.Snapshot(),
 				Size:     s.size.Snapshot(),
@@ -458,16 +566,24 @@ func (r *Registry) SnapshotSessions() []SessionSnapshot {
 func (r *Registry) RestoreSessions(snaps []SessionSnapshot) error {
 	restored := make([]*session, 0, len(snaps))
 	for _, snap := range snaps {
-		sender, err := core.RestoreStreamPredictor(snap.Sender)
+		// Normalize a hand-constructed snapshot's empty strategy to the
+		// name it restores as: storing "" would make the session
+		// unmatchable by ObserveAs and the next checkpoint unwritable.
+		strat := snap.Strategy
+		if strat == "" {
+			strat = strategy.Default
+		}
+		sender, err := strategy.Restore(strat, snap.Sender)
 		if err != nil {
 			return err
 		}
-		size, err := core.RestoreStreamPredictor(snap.Size)
+		size, err := strategy.Restore(strat, snap.Size)
 		if err != nil {
 			return err
 		}
 		restored = append(restored, &session{
 			key:      sessionKey{snap.Tenant, snap.Stream},
+			strategy: strat,
 			sender:   sender,
 			size:     size,
 			observed: snap.Observed,
@@ -475,6 +591,7 @@ func (r *Registry) RestoreSessions(snaps []SessionSnapshot) error {
 	}
 	now := r.cfg.Clock()
 	for _, s := range restored {
+		s.created = now
 		s.lastSeen = now
 		sh := r.shardFor(s.key.tenant, s.key.stream)
 		sh.mu.Lock()

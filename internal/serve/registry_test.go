@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
 
 	"mpipredict/internal/core"
+	"mpipredict/internal/strategy"
 )
 
 // testClock is a manually advanced time source.
@@ -297,11 +300,50 @@ func TestRegistryRestoreRejectsCorruptState(t *testing.T) {
 	r := NewRegistry(Config{})
 	feedPeriodic(r, "t", "s", 6, 3000)
 	snaps := r.SnapshotSessions()
-	snaps[0].Sender.Config.WindowSize = 1 // invalid
+	snaps[0].Sender = snaps[0].Sender[:len(snaps[0].Sender)-1] // truncated payload
 
 	fresh := NewRegistry(Config{})
 	if err := fresh.RestoreSessions(snaps); err == nil {
 		t.Fatal("restore accepted a corrupt predictor state")
+	}
+	if fresh.Len() != 0 {
+		t.Fatal("failed restore left partial sessions behind")
+	}
+}
+
+// TestRegistryRestoreNormalizesEmptyStrategy pins the defaulting of a
+// hand-constructed snapshot's empty strategy: the session must come back
+// as dpd (not ""), stay addressable by name, and stay checkpointable.
+func TestRegistryRestoreNormalizesEmptyStrategy(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "t", "s", 6, 100)
+	snaps := r.SnapshotSessions()
+	snaps[0].Strategy = ""
+
+	fresh := NewRegistry(Config{})
+	if err := fresh.RestoreSessions(snaps); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Sessions()[0].Strategy; got != strategy.Default {
+		t.Fatalf("restored strategy %q, want %q", got, strategy.Default)
+	}
+	if err := fresh.ObserveAs("t", "s", "dpd", Event{Sender: 1, Size: 1}); err != nil {
+		t.Fatalf("restored session rejects its own strategy: %v", err)
+	}
+	if err := WriteSnapshot(&bytes.Buffer{}, fresh.SnapshotSessions()); err != nil {
+		t.Fatalf("restored session is not checkpointable: %v", err)
+	}
+}
+
+func TestRegistryRestoreRejectsUnknownStrategy(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "t", "s", 6, 100)
+	snaps := r.SnapshotSessions()
+	snaps[0].Strategy = "no-such-strategy"
+
+	fresh := NewRegistry(Config{})
+	if err := fresh.RestoreSessions(snaps); err == nil {
+		t.Fatal("restore accepted an unknown strategy name")
 	}
 	if fresh.Len() != 0 {
 		t.Fatal("failed restore left partial sessions behind")
@@ -318,5 +360,147 @@ func TestRegistrySmallMaxSessionsBoundIsExact(t *testing.T) {
 	}
 	if got := r.Len(); got > 10 {
 		t.Fatalf("registry holds %d sessions, MaxSessions is 10", got)
+	}
+}
+
+func TestRegistryObserveAsCreatesStrategySessions(t *testing.T) {
+	r := NewRegistry(Config{})
+	// lastvalue: every horizon predicts the last observation.
+	for i := 0; i < 10; i++ {
+		if err := r.ObserveAs("t", "lv", "lastvalue", Event{Sender: int64(i), Size: int64(2 * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc, _, ok := r.ForecastInto(nil, "t", "lv", 3)
+	if !ok {
+		t.Fatal("no lastvalue session")
+	}
+	for _, f := range fc {
+		if !f.OK || f.Sender != 9 || f.Size != 18 {
+			t.Fatalf("lastvalue forecast %+v, want sender 9 size 18", f)
+		}
+	}
+	infos := r.Sessions()
+	if len(infos) != 1 || infos[0].Strategy != "lastvalue" {
+		t.Fatalf("session info %+v, want strategy lastvalue", infos)
+	}
+	// Non-DPD strategies report no lock state or period.
+	if infos[0].SenderState != "n/a" || infos[0].SenderPeriod != 0 {
+		t.Fatalf("lastvalue session reports DPD state: %+v", infos[0])
+	}
+}
+
+func TestRegistryObserveAsStrategyMismatch(t *testing.T) {
+	r := NewRegistry(Config{})
+	if err := r.ObserveAs("t", "s", "markov1", Event{Sender: 1, Size: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Omitting the strategy keeps addressing the session.
+	r.Observe("t", "s", Event{Sender: 2, Size: 2})
+	if _, err := r.ObserveBatchAs("t", "s", "markov1", []Event{{Sender: 3, Size: 3}}); err != nil {
+		t.Fatalf("matching strategy rejected: %v", err)
+	}
+	err := r.ObserveAs("t", "s", "dpd", Event{Sender: 4, Size: 4})
+	if !errors.Is(err, ErrStrategyMismatch) {
+		t.Fatalf("conflicting strategy: got %v, want ErrStrategyMismatch", err)
+	}
+	if err := r.ObserveAs("t", "s", "no-such", Event{Sender: 5, Size: 5}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if got := r.Sessions()[0].Observed; got != 3 {
+		t.Fatalf("observed = %d, want 3 (rejected observes must not count)", got)
+	}
+	// An empty batch applies the same validation without creating state.
+	if total, err := r.ObserveBatchAs("t", "s", "markov1", nil); err != nil || total != 3 {
+		t.Fatalf("empty matching batch = (%d, %v), want (3, nil)", total, err)
+	}
+	if _, err := r.ObserveBatchAs("t", "s", "dpd", nil); !errors.Is(err, ErrStrategyMismatch) {
+		t.Fatalf("empty conflicting batch: got %v, want ErrStrategyMismatch", err)
+	}
+	if _, err := r.ObserveBatchAs("t", "s", "no-such", nil); err == nil {
+		t.Fatal("empty batch accepted an unknown strategy")
+	}
+	if total, err := r.ObserveBatchAs("t", "absent", "markov1", nil); err != nil || total != 0 {
+		t.Fatalf("empty batch on absent session = (%d, %v), want (0, nil)", total, err)
+	}
+	if r.Len() != 1 {
+		t.Fatal("empty batch created a session")
+	}
+}
+
+func TestRegistryDefaultStrategyConfig(t *testing.T) {
+	r := NewRegistry(Config{Strategy: "markov1"})
+	r.Observe("t", "s", Event{Sender: 1, Size: 1})
+	if got := r.Sessions()[0].Strategy; got != "markov1" {
+		t.Fatalf("default-strategy session reports %q, want markov1", got)
+	}
+}
+
+func TestNewRegistryPanicsOnUnknownStrategy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRegistry accepted an unknown default strategy")
+		}
+	}()
+	NewRegistry(Config{Strategy: "no-such-strategy"})
+}
+
+// TestRegistrySessionTimestamps pins the created/last-observe reporting
+// the session listing carries.
+func TestRegistrySessionTimestamps(t *testing.T) {
+	clock := newTestClock()
+	r := NewRegistry(Config{Clock: clock.Now})
+	created := clock.Now()
+	r.Observe("t", "s", Event{Sender: 1, Size: 1})
+	clock.Advance(90 * time.Second)
+	r.Observe("t", "s", Event{Sender: 2, Size: 2})
+	clock.Advance(30 * time.Second)
+
+	info := r.Sessions()[0]
+	if info.CreatedUnix != created.Unix() {
+		t.Fatalf("CreatedUnix = %d, want %d", info.CreatedUnix, created.Unix())
+	}
+	if want := created.Add(90 * time.Second).Unix(); info.LastSeenUnix != want {
+		t.Fatalf("LastSeenUnix = %d, want %d", info.LastSeenUnix, want)
+	}
+	if info.IdleSeconds != 30 {
+		t.Fatalf("IdleSeconds = %g, want 30", info.IdleSeconds)
+	}
+}
+
+// TestRegistryHeterogeneousStrategiesConcurrent serves sessions with
+// different strategies in one registry at once and requires each to match
+// a directly driven strategy of the same kind — the "single process,
+// mixed models" claim of the strategy layer.
+func TestRegistryHeterogeneousStrategiesConcurrent(t *testing.T) {
+	r := NewRegistry(Config{})
+	names := strategy.Names()
+	for i := 0; i < 600; i++ {
+		for _, name := range names {
+			ev := Event{Sender: int64(i % 7), Size: int64(100 * (i % 7))}
+			if err := r.ObserveAs("mix", name, name, ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, name := range names {
+		want, err := strategy.New(name, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 600; i++ {
+			want.Observe(int64(i % 7))
+		}
+		fc, _, ok := r.ForecastInto(nil, "mix", name, 5)
+		if !ok {
+			t.Fatalf("no session for %s", name)
+		}
+		for k := 1; k <= 5; k++ {
+			wv, wok := want.Predict(k)
+			if fc[k-1].Sender != wv || fc[k-1].SenderOK != wok {
+				t.Fatalf("%s +%d: served (%d,%v), direct (%d,%v)", name, k,
+					fc[k-1].Sender, fc[k-1].SenderOK, wv, wok)
+			}
+		}
 	}
 }

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mpipredict/internal/strategy"
 )
 
 // MaxHorizon bounds the k parameter of predict queries; it exists so a
@@ -56,11 +58,16 @@ type Server struct {
 	start time.Time
 }
 
-// observeRequest is the POST /v1/observe body.
+// observeRequest is the POST /v1/observe body. Predictor optionally names
+// the prediction strategy of the session; it only matters on the request
+// that creates the session (the first observe) — afterwards it may be
+// omitted, and naming a different strategy than the session's is a
+// conflict.
 type observeRequest struct {
-	Tenant string  `json:"tenant"`
-	Stream string  `json:"stream"`
-	Events []Event `json:"events"`
+	Tenant    string  `json:"tenant"`
+	Stream    string  `json:"stream"`
+	Predictor string  `json:"predictor,omitempty"`
+	Events    []Event `json:"events"`
 }
 
 // scratch is the pooled per-request state. Decoding into the retained
@@ -114,6 +121,14 @@ func NewServer(reg *Registry) *Server {
 // Registry returns the registry the server fronts.
 func (s *Server) Registry() *Registry { return s.reg }
 
+// PublishVar adds a computed metric to the server's /debug/vars map under
+// the given name, evaluated on every scrape. The daemon uses it to surface
+// process-level state the registry does not own — e.g. the shared trace
+// cache's hit/miss and disk-tier counters.
+func (s *Server) PublishVar(name string, fn func() interface{}) {
+	s.vars.Set(name, expvar.Func(fn))
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -142,6 +157,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	defer s.pool.Put(sc)
 	sc.req.Tenant = ""
 	sc.req.Stream = ""
+	sc.req.Predictor = ""
 	// Zero the whole backing array, not just the length: the decoder
 	// reuses pooled elements in place and only assigns the JSON keys
 	// actually present, so an event omitting "sender" or "size" would
@@ -163,7 +179,17 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "events must not be empty")
 		return
 	}
-	total := s.reg.ObserveBatch(sc.req.Tenant, sc.req.Stream, sc.req.Events)
+	if sc.req.Predictor != "" && !strategy.Known(sc.req.Predictor) {
+		writeError(w, http.StatusBadRequest, "unknown predictor %q (known: %v)", sc.req.Predictor, strategy.Names())
+		return
+	}
+	total, err := s.reg.ObserveBatchAs(sc.req.Tenant, sc.req.Stream, sc.req.Predictor, sc.req.Events)
+	if err != nil {
+		// The name was validated above, so the only remaining failure is a
+		// strategy conflict with an existing session.
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"observed\":%d,\"session_observed\":%d}\n", len(sc.req.Events), total)
 }

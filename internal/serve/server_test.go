@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mpipredict/internal/core"
+	"mpipredict/internal/strategy"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -252,7 +253,11 @@ func TestServerObserveOmittedFieldsDoNotLeakAcrossRequests(t *testing.T) {
 	if !ok {
 		t.Fatal("tenant b session missing")
 	}
-	if got := snap.Size.Window; len(got) != 1 || got[0] != 0 {
+	state, err := strategy.DecodeDPDState(snap.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := state.Window; len(got) != 1 || got[0] != 0 {
 		t.Fatalf("tenant b observed size window %v, want [0] — pooled request state leaked", got)
 	}
 }
@@ -296,5 +301,91 @@ func TestServerRejectsOversizedKeys(t *testing.T) {
 		fmt.Sprintf(`{"tenant":"%s","stream":"s","events":[{"sender":1,"size":2}]}`, strings.Repeat("x", MaxKeyLen)))
 	if ok.StatusCode != http.StatusOK {
 		t.Fatalf("MaxKeyLen-sized tenant returned %s, want 200", ok.Status)
+	}
+}
+
+// TestServerObservePredictorField pins the HTTP face of per-session
+// strategies: the predictor request field selects the strategy at session
+// creation, the session listing reports it (with timestamps), an unknown
+// name is a 400 and a conflicting name on an existing session is a 409.
+func TestServerObservePredictorField(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := postJSON(t, ts.URL+"/v1/observe",
+		`{"tenant":"t","stream":"s","predictor":"lastvalue","events":[{"sender":3,"size":30}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe with predictor returned %s", resp.Status)
+	}
+	// Omitting the predictor keeps addressing the session.
+	resp, _ = postJSON(t, ts.URL+"/v1/observe",
+		`{"tenant":"t","stream":"s","events":[{"sender":4,"size":40}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up observe returned %s", resp.Status)
+	}
+
+	resp, body := get(t, ts.URL+"/v1/sessions")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sessions returned %s", resp.Status)
+	}
+	var listing struct {
+		Sessions []SessionInfo `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("sessions body %q: %v", body, err)
+	}
+	if len(listing.Sessions) != 1 {
+		t.Fatalf("got %d sessions, want 1", len(listing.Sessions))
+	}
+	info := listing.Sessions[0]
+	if info.Strategy != "lastvalue" {
+		t.Fatalf("session strategy %q, want lastvalue", info.Strategy)
+	}
+	if info.CreatedUnix == 0 || info.LastSeenUnix == 0 {
+		t.Fatalf("session listing misses timestamps: %+v", info)
+	}
+
+	// A lastvalue session forecasts the most recent event at every horizon.
+	resp, body = get(t, ts.URL+"/v1/predict?tenant=t&stream=s&k=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict returned %s", resp.Status)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal([]byte(body), &pr); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pr.Forecasts {
+		if !f.OK || f.Sender != 4 || f.Size != 40 {
+			t.Fatalf("forecast %+v, want sender 4 size 40", f)
+		}
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/observe",
+		`{"tenant":"t","stream":"s","predictor":"nope","events":[{"sender":1,"size":1}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown predictor returned %s, want 400", resp.Status)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/observe",
+		`{"tenant":"t","stream":"s","predictor":"dpd","events":[{"sender":1,"size":1}]}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting predictor returned %s, want 409", resp.Status)
+	}
+}
+
+// TestServerPublishVar pins the extension point the daemon uses to surface
+// process-level metrics (the shared trace cache) on /debug/vars.
+func TestServerPublishVar(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.PublishVar("tracecache", func() interface{} {
+		return map[string]int{"hits": 7}
+	})
+	resp, body := get(t, ts.URL+"/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("vars returned %s", resp.Status)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("vars body %q: %v", body, err)
+	}
+	if string(vars["tracecache"]) != `{"hits":7}` {
+		t.Fatalf("tracecache var = %s", vars["tracecache"])
 	}
 }

@@ -10,26 +10,30 @@ package serve
 // zig-zag varints):
 //
 //	magic   [4]byte  "MPS\x01"
-//	version uvarint  (currently 1)
+//	version uvarint  (currently 2)
 //	items:  a sequence of tagged items, each introduced by one tag byte
 //	  tagSnapSession (0x01): uvarint-length tenant and stream strings,
-//	                         varint observed-event count, then the sender
-//	                         and size predictor states (see below)
+//	                         varint observed-event count, the uvarint-length
+//	                         strategy name, then the sender and size
+//	                         strategy payloads (uvarint length + opaque
+//	                         bytes each, see internal/strategy)
 //	  tagSnapEnd     (0x00): uvarint session count, then the trailer
 //	trailer [4]byte  little-endian CRC-32 (IEEE) of every byte from the
 //	                 magic through the session count inclusive
 //
-// A predictor state is: the eight config fields (five varints, float bits
-// as uvarints for LockTolerance and RelearnMissRate, varint RelearnWindow),
-// varint WindowObserved, the window (uvarint length + varints, oldest
-// first), one state byte, the pattern (uvarint length + varints), varint
-// phase, varint miss streak, the outcome ring (uvarint length + 0/1
-// bytes, oldest first), varint candidate period and runs, and the five
-// lifetime counters as varints.
+// Version 2 frames each predictor state as (strategy id, opaque payload)
+// instead of inlining DPD fields, which is what lets one file checkpoint a
+// daemon serving heterogeneous sessions: the reader rebuilds each session
+// through the strategy registry without knowing anything about the model
+// inside. Version 1 files (DPD-only, predictor fields inline) are still
+// read — their states are re-framed as "dpd" payloads, byte-compatible
+// because the dpd payload format is exactly the version-1 inline predictor
+// state — but always written back as version 2.
 //
-// The file holds no timestamps or other environmental state, so
-// write(read(file)) is byte-identical — the property the daemon's
-// warm-restart test pins.
+// The file holds no timestamps or other environmental state, and strategy
+// payloads are deterministic functions of predictor state, so
+// write(read(file)) is byte-identical for current-version files — the
+// property the daemon's warm-restart test pins.
 
 import (
 	"bufio"
@@ -43,30 +47,40 @@ import (
 	"path/filepath"
 
 	"mpipredict/internal/core"
+	"mpipredict/internal/strategy"
 )
 
 // snapshotMagic introduces every predictor snapshot file.
 var snapshotMagic = [4]byte{'M', 'P', 'S', 0x01}
 
-// SnapshotVersion is the current version of the snapshot format.
-const SnapshotVersion = 1
+// SnapshotVersion is the current version of the snapshot format. Version
+// 1 (DPD-only, no strategy framing) is still accepted by ReadSnapshot.
+const SnapshotVersion = 2
+
+// snapshotVersion1 is the legacy DPD-only layout.
+const snapshotVersion1 = 1
 
 const (
 	tagSnapEnd     = 0x00
 	tagSnapSession = 0x01
 )
 
-// maxSnapStringLen bounds tenant and stream names so a corrupt length
-// prefix cannot force a huge allocation.
+// maxSnapStringLen bounds tenant, stream and strategy names so a corrupt
+// length prefix cannot force a huge allocation.
 const maxSnapStringLen = 1 << 16
 
 // maxSnapSliceLen bounds window, pattern and outcome-ring lengths read
-// from a file before they are handed to core validation.
+// from a version-1 file before they are handed to core validation.
 const maxSnapSliceLen = 1 << 20
+
+// maxSnapPayloadLen bounds one strategy payload. It comfortably covers
+// every registered strategy's worst case (the dpd window and the markov1
+// transition table are both far below it).
+const maxSnapPayloadLen = 1 << 24
 
 // ErrCorruptSnapshot is wrapped by every snapshot decoding error:
 // malformed, truncated or bit-flipped input, unknown versions, and state
-// that fails core validation.
+// that fails strategy validation.
 var ErrCorruptSnapshot = errors.New("corrupt predictor snapshot")
 
 var snapCRCTable = crc32.MakeTable(crc32.IEEE)
@@ -76,13 +90,16 @@ func snapCorruptf(format string, args ...interface{}) error {
 }
 
 // SessionSnapshot is one session's persistent state: its key, how many
-// events it has observed, and both predictor states.
+// events it has observed, the strategy it runs, and the opaque
+// strategy-defined payloads of both stream predictors
+// (strategy.Strategy.Snapshot bytes).
 type SessionSnapshot struct {
 	Tenant   string
 	Stream   string
 	Observed int64
-	Sender   core.PredictorSnapshot
-	Size     core.PredictorSnapshot
+	Strategy string
+	Sender   []byte
+	Size     []byte
 }
 
 // snapWriter mirrors the trace codec's Writer: buffered, CRC over every
@@ -123,43 +140,13 @@ func (w *snapWriter) writeString(s string) {
 	w.write([]byte(s))
 }
 
-func (w *snapWriter) writeInt64s(xs []int64) {
-	w.writeUvarint(uint64(len(xs)))
-	for _, x := range xs {
-		w.writeVarint(x)
+func (w *snapWriter) writePayload(p []byte) {
+	if len(p) > maxSnapPayloadLen {
+		w.err = fmt.Errorf("serve: strategy payload of %d bytes exceeds the snapshot format limit %d", len(p), maxSnapPayloadLen)
+		return
 	}
-}
-
-func (w *snapWriter) writePredictor(s core.PredictorSnapshot) {
-	w.writeVarint(int64(s.Config.WindowSize))
-	w.writeVarint(int64(s.Config.MaxLag))
-	w.writeVarint(int64(s.Config.MinRepeats))
-	w.writeVarint(int64(s.Config.ConfirmRuns))
-	w.writeVarint(int64(s.Config.HoldDown))
-	w.writeUvarint(math.Float64bits(s.Config.LockTolerance))
-	w.writeVarint(int64(s.Config.RelearnWindow))
-	w.writeUvarint(math.Float64bits(s.Config.RelearnMissRate))
-	w.writeVarint(s.WindowObserved)
-	w.writeInt64s(s.Window)
-	w.writeByte(byte(s.State))
-	w.writeInt64s(s.Pattern)
-	w.writeVarint(int64(s.Phase))
-	w.writeVarint(int64(s.MissStreak))
-	w.writeUvarint(uint64(len(s.Recent)))
-	for _, hit := range s.Recent {
-		if hit {
-			w.writeByte(1)
-		} else {
-			w.writeByte(0)
-		}
-	}
-	w.writeVarint(int64(s.CandidatePeriod))
-	w.writeVarint(int64(s.CandidateRuns))
-	w.writeVarint(s.Counters.Observed)
-	w.writeVarint(s.Counters.Locks)
-	w.writeVarint(s.Counters.Unlocks)
-	w.writeVarint(s.Counters.HitsWhile)
-	w.writeVarint(s.Counters.MissesWhile)
+	w.writeUvarint(uint64(len(p)))
+	w.write(p)
 }
 
 // WriteSnapshot writes the sessions to w in the snapshot format. Callers
@@ -171,17 +158,21 @@ func WriteSnapshot(w io.Writer, sessions []SessionSnapshot) error {
 	sw.writeUvarint(SnapshotVersion)
 	for i := range sessions {
 		s := &sessions[i]
-		// Mirror the reader's key validation: writing a file the reader
-		// would reject as corrupt helps nobody.
+		// Mirror the reader's validation: writing a file the reader would
+		// reject as corrupt helps nobody.
 		if s.Tenant == "" || s.Stream == "" {
 			return fmt.Errorf("serve: session %d has an empty key %q/%q", i, s.Tenant, s.Stream)
+		}
+		if !strategy.Known(s.Strategy) {
+			return fmt.Errorf("serve: session %q/%q uses unregistered strategy %q", s.Tenant, s.Stream, s.Strategy)
 		}
 		sw.writeByte(tagSnapSession)
 		sw.writeString(s.Tenant)
 		sw.writeString(s.Stream)
 		sw.writeVarint(s.Observed)
-		sw.writePredictor(s.Sender)
-		sw.writePredictor(s.Size)
+		sw.writeString(s.Strategy)
+		sw.writePayload(s.Sender)
+		sw.writePayload(s.Size)
 	}
 	sw.writeByte(tagSnapEnd)
 	sw.writeUvarint(uint64(len(sessions)))
@@ -242,6 +233,21 @@ func (r *snapReader) readString() (string, error) {
 	return string(buf), nil
 }
 
+func (r *snapReader) readPayload() ([]byte, error) {
+	n, err := r.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSnapPayloadLen {
+		return nil, fmt.Errorf("strategy payload length %d exceeds the format limit %d", n, maxSnapPayloadLen)
+	}
+	buf := make([]byte, n)
+	if err := r.readFull(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 func (r *snapReader) readInt64s() ([]int64, error) {
 	n, err := r.readUvarint()
 	if err != nil {
@@ -262,7 +268,10 @@ func (r *snapReader) readInt64s() ([]int64, error) {
 	return out, nil
 }
 
-func (r *snapReader) readPredictor() (core.PredictorSnapshot, error) {
+// readPredictorV1 decodes the version-1 inline predictor state into a core
+// snapshot. The field order is shared with the dpd strategy payload
+// (strategy.EncodeDPDState), so a decoded state re-frames losslessly.
+func (r *snapReader) readPredictorV1() (core.PredictorSnapshot, error) {
 	var s core.PredictorSnapshot
 	fields := []*int{
 		&s.Config.WindowSize, &s.Config.MaxLag, &s.Config.MinRepeats,
@@ -356,12 +365,13 @@ func (r *snapReader) readPredictor() (core.PredictorSnapshot, error) {
 }
 
 // ReadSnapshot reads a complete snapshot previously written by
-// WriteSnapshot. Beyond the structural checks (magic, version, tags,
-// session count, CRC) every predictor state is validated by a trial
-// restore, so a snapshot that decodes but cannot produce a working
-// predictor is rejected here, not at serving time. Trailing bytes after
-// the trailer are rejected: for a file they mean a botched concatenation
-// or a partial overwrite.
+// WriteSnapshot (or by a version-1 writer). Beyond the structural checks
+// (magic, version, tags, session count, CRC) every strategy payload is
+// validated by a trial restore through the strategy registry, so a
+// snapshot that decodes but cannot produce a working predictor is rejected
+// here, not at serving time. Trailing bytes after the trailer are
+// rejected: for a file they mean a botched concatenation or a partial
+// overwrite.
 func ReadSnapshot(r io.Reader) ([]SessionSnapshot, error) {
 	sr := &snapReader{br: bufio.NewReader(r)}
 	var magic [4]byte
@@ -375,7 +385,7 @@ func ReadSnapshot(r io.Reader) ([]SessionSnapshot, error) {
 	if err != nil {
 		return nil, snapCorruptf("reading version: %v", err)
 	}
-	if version != SnapshotVersion {
+	if version != SnapshotVersion && version != snapshotVersion1 {
 		return nil, snapCorruptf("unsupported version %d (have %d)", version, SnapshotVersion)
 	}
 	var sessions []SessionSnapshot
@@ -387,7 +397,7 @@ func ReadSnapshot(r io.Reader) ([]SessionSnapshot, error) {
 		}
 		switch tag {
 		case tagSnapSession:
-			snap, err := readSession(sr)
+			snap, err := readSession(sr, version)
 			if err != nil {
 				return nil, err
 			}
@@ -423,7 +433,7 @@ func ReadSnapshot(r io.Reader) ([]SessionSnapshot, error) {
 	}
 }
 
-func readSession(sr *snapReader) (SessionSnapshot, error) {
+func readSession(sr *snapReader, version uint64) (SessionSnapshot, error) {
 	var snap SessionSnapshot
 	var err error
 	if snap.Tenant, err = sr.readString(); err != nil {
@@ -441,19 +451,42 @@ func readSession(sr *snapReader) (SessionSnapshot, error) {
 	if snap.Observed < 0 {
 		return snap, snapCorruptf("negative observed count %d", snap.Observed)
 	}
-	if snap.Sender, err = sr.readPredictor(); err != nil {
-		return snap, snapCorruptf("reading sender predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
+	if version == snapshotVersion1 {
+		// Legacy DPD-only layout: inline predictor fields, re-framed as
+		// dpd strategy payloads.
+		snap.Strategy = "dpd"
+		sender, err := sr.readPredictorV1()
+		if err != nil {
+			return snap, snapCorruptf("reading sender predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
+		}
+		size, err := sr.readPredictorV1()
+		if err != nil {
+			return snap, snapCorruptf("reading size predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
+		}
+		snap.Sender = strategy.EncodeDPDState(sender)
+		snap.Size = strategy.EncodeDPDState(size)
+	} else {
+		if snap.Strategy, err = sr.readString(); err != nil {
+			return snap, snapCorruptf("reading strategy of %q/%q: %v", snap.Tenant, snap.Stream, err)
+		}
+		if !strategy.Known(snap.Strategy) {
+			return snap, snapCorruptf("session %q/%q uses unknown strategy %q (known: %v)",
+				snap.Tenant, snap.Stream, snap.Strategy, strategy.Names())
+		}
+		if snap.Sender, err = sr.readPayload(); err != nil {
+			return snap, snapCorruptf("reading sender state of %q/%q: %v", snap.Tenant, snap.Stream, err)
+		}
+		if snap.Size, err = sr.readPayload(); err != nil {
+			return snap, snapCorruptf("reading size state of %q/%q: %v", snap.Tenant, snap.Stream, err)
+		}
 	}
-	if snap.Size, err = sr.readPredictor(); err != nil {
-		return snap, snapCorruptf("reading size predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
-	}
-	// A trial restore applies the full core validation surface, so no
+	// A trial restore applies the full strategy validation surface, so no
 	// structurally valid but semantically corrupt state survives loading.
-	if _, err := core.RestoreStreamPredictor(snap.Sender); err != nil {
-		return snap, snapCorruptf("sender predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
+	if _, err := strategy.Restore(snap.Strategy, snap.Sender); err != nil {
+		return snap, snapCorruptf("sender state of %q/%q: %v", snap.Tenant, snap.Stream, err)
 	}
-	if _, err := core.RestoreStreamPredictor(snap.Size); err != nil {
-		return snap, snapCorruptf("size predictor of %q/%q: %v", snap.Tenant, snap.Stream, err)
+	if _, err := strategy.Restore(snap.Strategy, snap.Size); err != nil {
+		return snap, snapCorruptf("size state of %q/%q: %v", snap.Tenant, snap.Stream, err)
 	}
 	return snap, nil
 }

@@ -1,0 +1,112 @@
+package strategy
+
+// Payload codec helpers. Strategy payloads are self-contained varint
+// streams (the encoding/binary unsigned and zig-zag varints the trace and
+// snapshot codecs already use); the container that embeds them (the .mps
+// snapshot file) supplies framing, checksums and corruption detection, so
+// a payload only has to be deterministic and fully validated on decode.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// maxPayloadSliceLen bounds slice lengths read from a payload before any
+// allocation, so a corrupt length prefix cannot force a huge allocation.
+const maxPayloadSliceLen = 1 << 20
+
+// ErrBadPayload is wrapped by every payload decoding error: truncated or
+// malformed payloads, trailing bytes, and state that fails validation.
+var ErrBadPayload = errors.New("invalid strategy payload")
+
+func payloadErrf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrBadPayload, fmt.Sprintf(format, args...))
+}
+
+// payloadWriter accumulates a payload in memory.
+type payloadWriter struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *payloadWriter) byte(b byte) { w.buf = append(w.buf, b) }
+
+func (w *payloadWriter) uvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+func (w *payloadWriter) varint(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+func (w *payloadWriter) int64s(xs []int64) {
+	w.uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		w.varint(x)
+	}
+}
+
+// payloadReader consumes a payload, tracking position for error context.
+type payloadReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *payloadReader) byte() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, payloadErrf("truncated at byte %d", r.pos)
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, payloadErrf("bad uvarint at byte %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *payloadReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, payloadErrf("bad varint at byte %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *payloadReader) int64s() ([]int64, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxPayloadSliceLen {
+		return nil, payloadErrf("slice length %d exceeds the payload limit %d", n, maxPayloadSliceLen)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		if out[i], err = r.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// done verifies the whole payload was consumed: trailing bytes mean a
+// mismatched strategy kind or a corrupt container.
+func (r *payloadReader) done() error {
+	if r.pos != len(r.data) {
+		return payloadErrf("%d trailing bytes after the state", len(r.data)-r.pos)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package strategy
+
+import "mpipredict/internal/core"
+
+// LastValue predicts that every future value equals the most recently
+// observed one. It is the natural floor baseline: any strategy that cannot
+// beat it on a stream has learned nothing about that stream's structure.
+// Unlike the single-step last-value heuristics of the related work it
+// answers every horizon (with the same value), so it scores on the full
+// +1..+5 protocol of the evaluation harness.
+type LastValue struct {
+	last int64
+	seen bool
+}
+
+// NewLastValue returns an untrained LastValue strategy.
+func NewLastValue() *LastValue { return &LastValue{} }
+
+// Desc implements Strategy.
+func (p *LastValue) Desc() Desc { return Desc{Name: "lastvalue"} }
+
+// Observe implements Strategy.
+func (p *LastValue) Observe(x int64) { p.last, p.seen = x, true }
+
+// Predict implements Strategy.
+func (p *LastValue) Predict(k int) (int64, bool) {
+	if !p.seen || k < 1 {
+		return 0, false
+	}
+	return p.last, true
+}
+
+// PredictSeriesInto implements Strategy.
+func (p *LastValue) PredictSeriesInto(dst []core.Prediction, count int) []core.Prediction {
+	return seriesInto(p, dst, count)
+}
+
+// PredictSetInto implements Strategy.
+func (p *LastValue) PredictSetInto(dst []int64, count int) ([]int64, bool) {
+	return setInto(p, dst, count)
+}
+
+// Reset implements Strategy.
+func (p *LastValue) Reset() { *p = LastValue{} }
+
+// Snapshot implements Strategy: one 0/1 seen byte, then the last value.
+func (p *LastValue) Snapshot() []byte {
+	var w payloadWriter
+	if p.seen {
+		w.byte(1)
+	} else {
+		w.byte(0)
+	}
+	w.varint(p.last)
+	return w.buf
+}
+
+// Restore implements Strategy.
+func (p *LastValue) Restore(payload []byte) error {
+	r := &payloadReader{data: payload}
+	seen, err := r.byte()
+	if err != nil {
+		return err
+	}
+	if seen > 1 {
+		return payloadErrf("invalid seen byte 0x%02x", seen)
+	}
+	last, err := r.varint()
+	if err != nil {
+		return err
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	if seen == 0 && last != 0 {
+		return payloadErrf("unseen state carries a last value")
+	}
+	p.seen = seen == 1
+	p.last = last
+	return nil
+}

@@ -31,10 +31,12 @@ import (
 	"mpipredict/internal/core"
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/predictor"
+	"mpipredict/internal/report"
 	"mpipredict/internal/scalability"
 	"mpipredict/internal/serve"
 	"mpipredict/internal/simmpi"
 	"mpipredict/internal/simnet"
+	"mpipredict/internal/strategy"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
@@ -59,6 +61,14 @@ type (
 	// MessageForecast is the joint (sender, size) forecast for one future
 	// message.
 	MessageForecast = predictor.MessageForecast
+	// Strategy is the full per-stream prediction-model contract: online
+	// observation, multi-step prediction with buffer reuse, and
+	// serializable state. Every layer selects its model through the
+	// strategy registry ("dpd", "lastvalue", "markov1").
+	Strategy = strategy.Strategy
+	// StrategyDesc identifies a strategy instance (registry name and
+	// configuration summary).
+	StrategyDesc = strategy.Desc
 )
 
 // Trace and simulation types.
@@ -104,6 +114,11 @@ type (
 	Table1Row = evalx.Table1Row
 	// FigureResult is the data behind Figure 3 or Figure 4.
 	FigureResult = evalx.FigureResult
+	// StrategyComparison sets the DPD against the baseline strategies on
+	// a workload grid.
+	StrategyComparison = evalx.StrategyComparison
+	// StrategyComparisonRow is one workload's accuracy across strategies.
+	StrategyComparisonRow = evalx.StrategyComparisonRow
 	// Figure1Result is the data behind Figure 1.
 	Figure1Result = evalx.Figure1Result
 	// Figure2Result is the data behind Figure 2.
@@ -192,6 +207,40 @@ func NewBaselinePredictor(name string) (Predictor, error) { return predictor.New
 
 // BaselinePredictors lists the registered predictor names.
 func BaselinePredictors() []string { return predictor.Names() }
+
+// NewStrategy builds a prediction strategy by registered name (the empty
+// name selects the default, the paper's DPD). The configuration
+// parameterizes the DPD; strategies without tunables ignore it.
+func NewStrategy(name string, cfg PredictorConfig) (Strategy, error) {
+	return strategy.New(name, cfg)
+}
+
+// Strategies lists the registered prediction-strategy names.
+func Strategies() []string { return strategy.Names() }
+
+// RestoreStrategy rebuilds a strategy of the named kind from a payload
+// previously produced by Strategy.Snapshot, validating it in full.
+func RestoreStrategy(name string, payload []byte) (Strategy, error) {
+	return strategy.Restore(name, payload)
+}
+
+// StrategyPredictor adapts a strategy to the Predictor interface, so
+// registry-selected strategies plug into MessagePredictor and the
+// evaluation helpers.
+func StrategyPredictor(s Strategy) Predictor { return predictor.FromStrategy(s) }
+
+// CompareStrategies evaluates the named strategies (nil = all registered)
+// on the given workloads (nil = one representative spec per benchmark)
+// and returns the per-workload accuracy comparison.
+func CompareStrategies(names []string, specs []WorkloadSpec, opts EvalOptions) (StrategyComparison, error) {
+	return evalx.CompareStrategies(names, specs, opts)
+}
+
+// FormatStrategyComparison renders a strategy comparison as the plain-text
+// table cmd/mpipredict prints for -experiment compare.
+func FormatStrategyComparison(cmp StrategyComparison) string {
+	return report.StrategyComparison(cmp)
+}
 
 // NewMessagePredictor returns a DPD-based joint (sender, size) forecaster.
 func NewMessagePredictor(cfg PredictorConfig) *MessagePredictor {

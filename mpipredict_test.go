@@ -166,9 +166,12 @@ func TestFacadeServing(t *testing.T) {
 	if len(sessions) != 1 {
 		t.Fatalf("loaded %d sessions, want 1", len(sessions))
 	}
-	sp, err := RestorePredictor(sessions[0].Sender)
+	sp, err := RestoreStrategy(sessions[0].Strategy, sessions[0].Sender)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if sp.Desc().Name != "dpd" {
+		t.Fatalf("default session strategy is %q, want dpd", sp.Desc().Name)
 	}
 	want, _, _ := reg.ForecastInto(nil, "tenant", "stream", 1)
 	if v, ok := sp.Predict(1); !ok || v != want[0].Sender {
