@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, path string, results []result) {
+	t.Helper()
+	data, err := json.Marshal(snapshot{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-max-regress", "10"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "without -baseline") {
+		t.Errorf("-max-regress without -baseline: got %v", err)
+	}
+	if err := run([]string{"-baseline", "x.json", "-max-regress", "150"}, &out, &errb); err == nil || !strings.Contains(err.Error(), "max-regress") {
+		t.Errorf("out-of-range -max-regress: got %v", err)
+	}
+}
+
+// TestCompareBaseline exercises the regression gate on fabricated
+// snapshots: a small dip passes, a drop beyond the tolerance fails, and
+// a baseline with no shared throughput metrics is an error (a gate that
+// silently compares nothing would defeat its purpose).
+func TestCompareBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeSnapshot(t, base, []result{
+		{Name: "serve-observe", Metrics: map[string]float64{"ops/s": 100_000}},
+		{Name: "serve-observe-batch", Metrics: map[string]float64{"events/s": 200_000}},
+		{Name: "table1", Metrics: map[string]float64{"p2p-relative-error": 0.03}},
+	})
+
+	var out bytes.Buffer
+	ok := snapshot{Results: []result{
+		{Name: "serve-observe", Metrics: map[string]float64{"ops/s": 90_000}},           // -10%
+		{Name: "serve-observe-batch", Metrics: map[string]float64{"events/s": 250_000}}, // improved
+		{Name: "brand-new-bench", Metrics: map[string]float64{"ops/s": 1}},              // not in baseline: skipped
+	}}
+	if err := compareBaseline(ok, base, 20, &out); err != nil {
+		t.Errorf("10%% dip within a 20%% tolerance failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "serve-observe ops/s") {
+		t.Errorf("comparison log missing: %s", out.String())
+	}
+
+	bad := snapshot{Results: []result{
+		{Name: "serve-observe", Metrics: map[string]float64{"ops/s": 70_000}}, // -30%
+	}}
+	err := compareBaseline(bad, base, 20, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("30%% drop passed a 20%% gate: %v", err)
+	}
+
+	disjoint := snapshot{Results: []result{
+		{Name: "table1", Metrics: map[string]float64{"p2p-relative-error": 0.03}},
+	}}
+	if err := compareBaseline(disjoint, base, 20, &out); err == nil || !strings.Contains(err.Error(), "nothing was gated") {
+		t.Errorf("metric-free comparison succeeded: %v", err)
+	}
+
+	if err := compareBaseline(ok, filepath.Join(dir, "missing.json"), 20, &out); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}
+
+// TestBaselineGateEndToEnd runs one real (fast) benchmark against a
+// fabricated generous baseline through the CLI, covering the wiring from
+// flags to the gate.
+func TestBaselineGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	// A throughput floor of 1 op/s: any real run beats it, so the gate
+	// passes; the inverse (impossibly high baseline) must fail.
+	writeSnapshot(t, base, []result{
+		{Name: "strategy-observe-lastvalue", Metrics: map[string]float64{"ops/s": 1}},
+	})
+	var out, errb bytes.Buffer
+	outPath := filepath.Join(dir, "new.json")
+	if err := run([]string{"-run", "^strategy-observe-lastvalue$", "-out", outPath, "-baseline", base}, &out, &errb); err != nil {
+		t.Fatalf("gate against a floor baseline failed: %v", err)
+	}
+	writeSnapshot(t, base, []result{
+		{Name: "strategy-observe-lastvalue", Metrics: map[string]float64{"ops/s": 1e15}},
+	})
+	if err := run([]string{"-run", "^strategy-observe-lastvalue$", "-out", outPath, "-baseline", base}, &out, &errb); err == nil {
+		t.Fatal("gate against an impossible baseline passed")
+	}
+}

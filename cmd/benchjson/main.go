@@ -10,6 +10,8 @@
 //	benchjson -out bench.json # explicit output path
 //	benchjson -run 'figure3'  # only benchmarks whose name matches the regexp
 //	benchjson -list           # print benchmark names and exit
+//	benchjson -run '^serve-' -baseline BENCH_3.json -max-regress 20
+//	                          # re-measure and fail on >20% throughput loss
 //
 // The cached benchmarks are warmed first (one full sweep populates the
 // shared trace cache), so their numbers report the steady-state cost of
@@ -29,10 +31,12 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"mpipredict/internal/benchdefs"
+	"mpipredict/internal/cliutil"
 	"mpipredict/internal/strategy"
 )
 
@@ -157,6 +161,26 @@ func benchmarks() []entry {
 			}
 			benchdefs.ReportThroughput(b)
 		}},
+		{"serve-observe-block", false, func(b *testing.B) {
+			env := benchdefs.NewServeBenchEnv()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.ObserveBlockHTTP(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportBatchThroughput(b)
+		}},
+		{"serve-registry-observe-block", false, func(b *testing.B) {
+			env := benchdefs.NewServeBenchEnv()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.ObserveBlockDirect(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportBatchThroughput(b)
+		}},
 	}
 }
 
@@ -221,9 +245,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	out := fs.String("out", "", "output path (default: next free BENCH_<n>.json)")
 	pattern := fs.String("run", "", "only run benchmarks whose name matches this regexp")
+	baseline := fs.String("baseline", "", "compare throughput against this earlier snapshot and fail on regressions")
+	maxRegress := fs.Float64("max-regress", 20, "with -baseline: tolerated throughput drop in percent")
 	list := fs.Bool("list", false, "list benchmark names and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *baseline == "" && len(cliutil.SetFlags(fs, "max-regress")) > 0 {
+		return fmt.Errorf("-max-regress has no effect without -baseline; drop it")
+	}
+	if *maxRegress < 0 || *maxRegress >= 100 {
+		return fmt.Errorf("-max-regress must be in [0, 100)")
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
@@ -310,5 +342,66 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(stdout, path)
+	if *baseline != "" {
+		return compareBaseline(snap, *baseline, *maxRegress, stdout)
+	}
+	return nil
+}
+
+// throughputMetrics are the higher-is-better metrics the baseline gate
+// compares; latency-style metrics and paper-fidelity numbers are
+// deliberately ignored (they have their own tests).
+var throughputMetrics = []string{"ops/s", "events/s"}
+
+// compareBaseline fails when any benchmark present in both snapshots
+// lost more than maxRegress percent of a throughput metric against the
+// baseline — the CI smoke gate that keeps the observe/predict hot paths
+// from silently regressing across PRs.
+func compareBaseline(snap snapshot, baselinePath string, maxRegress float64, stdout io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base snapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseByName := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	var regressions []string
+	compared := 0
+	for _, r := range snap.Results {
+		old, ok := baseByName[r.Name]
+		if !ok {
+			// Say so explicitly: a benchmark the baseline predates (or a
+			// typo'd -run pattern) must be distinguishable from a gated
+			// pass when reading the CI log.
+			fmt.Fprintf(stdout, "benchjson: %s: not in baseline %s, skipped\n", r.Name, baselinePath)
+			continue
+		}
+		for _, metric := range throughputMetrics {
+			was, hadOld := old.Metrics[metric]
+			now, hadNew := r.Metrics[metric]
+			if !hadOld || !hadNew || was <= 0 {
+				continue
+			}
+			compared++
+			change := 100 * (now - was) / was
+			fmt.Fprintf(stdout, "benchjson: %s %s: %.0f -> %.0f (%+.1f%%)\n", r.Name, metric, was, now, change)
+			if change < -maxRegress {
+				regressions = append(regressions,
+					fmt.Sprintf("%s %s regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+						r.Name, metric, -change, was, now, maxRegress))
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("baseline %s shares no throughput metrics with this run; nothing was gated", baselinePath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("throughput regressions vs %s:\n  %s", baselinePath, strings.Join(regressions, "\n  "))
+	}
 	return nil
 }

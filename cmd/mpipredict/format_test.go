@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareFormatFlagValidation(t *testing.T) {
+	_, _, err := runCLI(t, "-experiment", "compare", "-format", "yaml")
+	if err == nil || !strings.Contains(err.Error(), "unknown -format") {
+		t.Fatalf("bad format: got %v", err)
+	}
+	for _, exp := range []string{"table1", "figure3"} {
+		_, _, err := runCLI(t, "-experiment", exp, "-format", "csv")
+		if err == nil || !strings.Contains(err.Error(), "only affects -experiment compare") {
+			t.Fatalf("%s with -format: got %v", exp, err)
+		}
+	}
+}
+
+// TestCompareFormatsGolden pins both renderings of the strategy
+// comparison grid against golden files (regenerate with -update): the
+// human table and the long-form CSV analysis scripts consume.
+func TestCompareFormatsGolden(t *testing.T) {
+	for _, format := range []string{"table", "csv"} {
+		t.Run(format, func(t *testing.T) {
+			stdout, _, err := runCLI(t, "-experiment", "compare", "-iterations", "2", "-format", format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "compare_"+format+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if stdout != string(want) {
+				t.Errorf("%s output drifted from the golden file\n--- got ---\n%s--- want ---\n%s", format, stdout, want)
+			}
+		})
+	}
+}
+
+// TestCompareCSVShape sanity-checks the CSV independently of the golden:
+// a header plus one row per (workload, strategy) pair, every accuracy a
+// fraction in [0, 1].
+func TestCompareCSVShape(t *testing.T) {
+	stdout, _, err := runCLI(t, "-experiment", "compare", "-iterations", "2", "-format", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if lines[0] != "app,procs,strategy,horizons,logical_mean_sender_accuracy,physical_mean_sender_accuracy" {
+		t.Fatalf("unexpected CSV header: %q", lines[0])
+	}
+	const workloads, strategies = 5, 3
+	if len(lines) != 1+workloads*strategies {
+		t.Fatalf("CSV has %d data rows, want %d", len(lines)-1, workloads*strategies)
+	}
+	for _, line := range lines[1:] {
+		if fields := strings.Split(line, ","); len(fields) != 6 {
+			t.Errorf("row %q has %d fields, want 6", line, len(fields))
+		}
+	}
+}

@@ -35,11 +35,12 @@ import (
 	"io"
 	"os"
 
+	"mpipredict/internal/cliutil"
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/report"
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/strategy"
-	"mpipredict/internal/trace"
+	"mpipredict/internal/stream"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
 )
@@ -66,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", 0, "max experiments evaluated concurrently (0 = GOMAXPROCS); results are identical for every setting")
 	nocache := fs.Bool("nocache", false, "re-simulate every workload instead of sharing traces between experiments")
 	tracePath := fs.String("trace", "", "replay this trace file (.mpt or JSONL) instead of simulating")
+	format := fs.String("format", "table", "output format for -experiment compare: table or csv")
 	cacheDir := fs.String("cache-dir", "", "persist simulated traces under this directory and reuse them across runs")
 	cacheStats := fs.Bool("cache-stats", false, "print trace-cache statistics for this run to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -95,9 +97,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// A replay evaluates the file's recorded run and touches no cache;
 		// silently ignoring simulation/cache knobs would let the user
 		// believe they took effect.
-		if set := setFlags(fs, "seed", "iterations", "noiseless", "parallel", "nocache", "cache-dir", "cache-stats"); len(set) > 0 {
+		if set := cliutil.SetFlags(fs, "seed", "iterations", "noiseless", "parallel", "nocache", "cache-dir", "cache-stats"); len(set) > 0 {
 			return fmt.Errorf("%v only affect simulation and are ignored with -trace; drop them", set)
 		}
+	}
+	switch *format {
+	case "table", "csv":
+	default:
+		return fmt.Errorf("unknown -format %q (want table or csv)", *format)
+	}
+	if len(cliutil.SetFlags(fs, "format")) > 0 && *experiment != "compare" {
+		// Only the comparison grid has a machine-readable rendering; the
+		// figures and tables are fixed-layout paper reproductions.
+		return fmt.Errorf("-format only affects -experiment compare; drop it")
 	}
 
 	opts := evalx.Options{Seed: *seed, Iterations: *iterations, Net: simnet.DefaultConfig(), Parallelism: *parallel, NoCache: *nocache, Strategy: *predictorName}
@@ -122,23 +134,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *tracePath != "" {
 		return runReplay(*tracePath, *experiment, opts, stdout)
 	}
-	return runExperiments(*experiment, opts, stdout)
-}
-
-// setFlags returns which of the named flags were explicitly set on the
-// command line, prefixed with "-" for error messages.
-func setFlags(fs *flag.FlagSet, names ...string) []string {
-	want := make(map[string]bool, len(names))
-	for _, n := range names {
-		want[n] = true
-	}
-	var set []string
-	fs.Visit(func(f *flag.Flag) {
-		if want[f.Name] {
-			set = append(set, "-"+f.Name)
-		}
-	})
-	return set
+	return runExperiments(*experiment, *format, opts, stdout)
 }
 
 func cacheStatsSnapshot(c *tracecache.Cache) tracecache.Stats {
@@ -159,19 +155,29 @@ func printCacheStats(w io.Writer, c *tracecache.Cache, before tracecache.Stats) 
 	fmt.Fprintf(w, "cache: %s\n", c.Stats().Delta(before))
 }
 
-// runReplay feeds a trace loaded from disk through the evaluation
-// pipeline. Only the trace-shaped experiments make sense here: table1
-// (characterisation of the traced receiver) and figure3/figure4
-// (prediction accuracy on the recorded streams); "all" runs all of them.
+// runReplay feeds a trace file through the evaluation pipeline as a
+// block stream: the file is scanned once for its traced receivers, then
+// streamed through the scorers — it is never materialized in memory, so
+// replays handle traces far larger than RAM. Only the trace-shaped
+// experiments make sense here: table1 (characterisation of the traced
+// receiver) and figure3/figure4 (prediction accuracy on the recorded
+// streams); "all" runs all of them.
 func runReplay(path, experiment string, opts evalx.Options, stdout io.Writer) error {
-	tr, err := trace.Load(path)
+	src, err := stream.OpenFile(path)
 	if err != nil {
 		return err
 	}
-	receiver, err := workloads.ReplayReceiver(tr)
+	md, _ := stream.MetaOf(src)
+	receivers, err := stream.Receivers(src)
+	src.Close()
 	if err != nil {
 		return err
 	}
+	receiver, err := workloads.PickReplayReceiver(md.App, md.Procs, receivers)
+	if err != nil {
+		return err
+	}
+	open := stream.FileOpener(path)
 
 	wantTable1 := experiment == "table1" || experiment == "all"
 	wantLogical := experiment == "figure3" || experiment == "all"
@@ -181,11 +187,14 @@ func runReplay(path, experiment string, opts evalx.Options, stdout io.Writer) er
 	}
 
 	if wantTable1 {
-		rows := []evalx.Table1Row{evalx.Table1RowFromTrace(tr, receiver)}
-		fmt.Fprintln(stdout, report.Table1(rows))
+		row, err := evalx.Table1RowFromSource(open, receiver)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, report.Table1([]evalx.Table1Row{row}))
 	}
 	if wantLogical || wantPhysical {
-		res, err := evalx.EvaluateTrace(tr, receiver, opts)
+		res, err := evalx.EvaluateSource(open, receiver, opts)
 		if err != nil {
 			return err
 		}
@@ -200,7 +209,7 @@ func runReplay(path, experiment string, opts evalx.Options, stdout io.Writer) er
 	return nil
 }
 
-func runExperiments(experiment string, opts evalx.Options, stdout io.Writer) error {
+func runExperiments(experiment, format string, opts evalx.Options, stdout io.Writer) error {
 	switch experiment {
 	case "table1":
 		return runTable1(opts, stdout)
@@ -213,7 +222,7 @@ func runExperiments(experiment string, opts evalx.Options, stdout io.Writer) err
 	case "figure4":
 		return runFigures(opts, stdout, false, true)
 	case "compare":
-		return runCompare(opts, stdout)
+		return runCompare(opts, format, stdout)
 	case "all":
 		if err := runTable1(opts, stdout); err != nil {
 			return err
@@ -231,11 +240,16 @@ func runExperiments(experiment string, opts evalx.Options, stdout io.Writer) err
 }
 
 // runCompare sets the DPD against every registered baseline strategy on
-// one representative spec per benchmark.
-func runCompare(opts evalx.Options, stdout io.Writer) error {
+// one representative spec per benchmark, rendered as the human-readable
+// table or as long-form CSV for analysis pipelines.
+func runCompare(opts evalx.Options, format string, stdout io.Writer) error {
 	cmp, err := evalx.CompareStrategies(nil, nil, opts)
 	if err != nil {
 		return err
+	}
+	if format == "csv" {
+		fmt.Fprint(stdout, report.StrategyComparisonCSV(cmp))
+		return nil
 	}
 	fmt.Fprintln(stdout, report.StrategyComparison(cmp))
 	return nil

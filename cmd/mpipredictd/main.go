@@ -45,9 +45,10 @@ import (
 	"syscall"
 	"time"
 
+	"mpipredict/internal/cliutil"
 	"mpipredict/internal/serve"
 	"mpipredict/internal/strategy"
-	"mpipredict/internal/trace"
+	"mpipredict/internal/stream"
 	"mpipredict/internal/tracecache"
 )
 
@@ -95,14 +96,14 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		if *target != "" {
 			return fmt.Errorf("-target requires -replay")
 		}
-		if set := visitSet(fset, "replay-batch"); len(set) > 0 {
+		if set := cliutil.SetFlags(fset, "replay-batch"); len(set) > 0 {
 			return fmt.Errorf("%v has no effect without -replay; drop it", set)
 		}
 	}
 	if *target != "" {
 		// Client mode runs no server; silently ignoring server knobs would
 		// let the user believe they took effect.
-		if set := visitSet(fset, "addr", "snapshot", "snapshot-interval", "shards", "predictor", "max-sessions", "idle-ttl", "sweep-interval"); len(set) > 0 {
+		if set := cliutil.SetFlags(fset, "addr", "snapshot", "snapshot-interval", "shards", "predictor", "max-sessions", "idle-ttl", "sweep-interval"); len(set) > 0 {
 			return fmt.Errorf("%v only affect the server and are ignored with -target; drop them", set)
 		}
 	}
@@ -116,16 +117,18 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		return fmt.Errorf("-sweep-interval must be positive")
 	}
 
-	var replayTrace *trace.Trace
 	if *replayPath != "" {
-		tr, err := trace.Load(*replayPath)
-		if err != nil {
+		// Validate the whole file up front — header, framing and, for
+		// binary traces, the CRC trailer — in one constant-memory pass,
+		// so a corrupt replay file fails before the daemon binds its port
+		// (the fail-before-listen behavior the materializing loader had).
+		// The replay itself re-streams the file block by block.
+		if err := validateTraceFile(*replayPath); err != nil {
 			return err
 		}
-		replayTrace = tr
 	}
 	if *target != "" {
-		return runReplayClient(*target, replayTrace, *batch, stdout)
+		return runReplayClient(*target, *replayPath, *batch, stdout)
 	}
 
 	reg := serve.NewRegistry(serve.Config{
@@ -177,8 +180,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
-	if replayTrace != nil {
-		stats, err := serve.Replay("http://"+bound, replayTrace, serve.ReplayOptions{BatchSize: *batch})
+	if *replayPath != "" {
+		stats, err := replayFile("http://"+bound, *replayPath, *batch)
 		if err != nil {
 			httpSrv.Close()
 			return err
@@ -234,26 +237,41 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	}
 }
 
-// visitSet returns which of the named flags were explicitly set on the
-// command line, prefixed with "-" for error messages.
-func visitSet(fset *flag.FlagSet, names ...string) []string {
-	want := make(map[string]bool, len(names))
-	for _, n := range names {
-		want[n] = true
+// validateTraceFile drains the file through the block reader without
+// keeping anything, surfacing any malformation or checksum mismatch.
+func validateTraceFile(path string) error {
+	src, err := stream.OpenFile(path)
+	if err != nil {
+		return err
 	}
-	var set []string
-	fset.Visit(func(f *flag.Flag) {
-		if want[f.Name] {
-			set = append(set, "-"+f.Name)
+	defer src.Close()
+	var blk stream.EventBlock
+	for {
+		err := src.Next(&blk)
+		if err == io.EOF {
+			return nil
 		}
-	})
-	return set
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// replayFile streams a trace file through a daemon's observe API as
+// columnar blocks, in constant memory.
+func replayFile(target, path string, batch int) (serve.ReplayStats, error) {
+	src, err := stream.OpenFile(path)
+	if err != nil {
+		return serve.ReplayStats{}, err
+	}
+	defer src.Close()
+	return serve.ReplaySource(target, src, serve.ReplayOptions{BatchSize: batch})
 }
 
 // runReplayClient is client mode: push the trace into a running daemon
 // and report throughput.
-func runReplayClient(target string, tr *trace.Trace, batch int, stdout io.Writer) error {
-	stats, err := serve.Replay(target, tr, serve.ReplayOptions{BatchSize: batch})
+func runReplayClient(target, path string, batch int, stdout io.Writer) error {
+	stats, err := replayFile(target, path, batch)
 	if err != nil {
 		return err
 	}

@@ -32,12 +32,14 @@ import (
 	"io"
 	"os"
 
+	"mpipredict/internal/cliutil"
 	"mpipredict/internal/core"
 	"mpipredict/internal/predictor"
 	"mpipredict/internal/report"
 	"mpipredict/internal/scalability"
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/strategy"
+	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
@@ -76,14 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// A replay evaluates the file's recorded run and touches no cache;
 		// silently ignoring simulation/cache knobs would let the user
 		// believe they changed it.
-		var set []string
-		fs.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "workload", "procs", "iterations", "seed", "cache-dir", "cache-stats":
-				set = append(set, "-"+f.Name)
-			}
-		})
-		if len(set) > 0 {
+		if set := cliutil.SetFlags(fs, "workload", "procs", "iterations", "seed", "cache-dir", "cache-stats"); len(set) > 0 {
 			return fmt.Errorf("%v only affect simulation and are ignored with -trace; drop them", set)
 		}
 	}
@@ -151,14 +146,32 @@ func forecaster(name string) (*predictor.MessagePredictor, error) {
 
 // replaySource produces the trace and receiver to replay: loaded from the
 // given file when path is non-empty, freshly simulated otherwise (through
-// the cache when one is configured).
+// the cache when one is configured). A file is read through the block
+// pipeline: one scan picks the receiver, a second gathers only that
+// receiver's records, so an -all-receivers export replays without pulling
+// every other rank's events into memory.
 func replaySource(path, name string, procs, iterations int, seed int64, cache *tracecache.Cache) (*trace.Trace, int, error) {
 	if path != "" {
-		tr, err := trace.Load(path)
+		src, err := stream.OpenFile(path)
 		if err != nil {
 			return nil, 0, err
 		}
-		receiver, err := workloads.ReplayReceiver(tr)
+		md, _ := stream.MetaOf(src)
+		receivers, err := stream.Receivers(src)
+		src.Close()
+		if err != nil {
+			return nil, 0, err
+		}
+		receiver, err := workloads.PickReplayReceiver(md.App, md.Procs, receivers)
+		if err != nil {
+			return nil, 0, err
+		}
+		src, err = stream.OpenFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer src.Close()
+		tr, err := stream.Gather(stream.FilterReceiver(src, receiver))
 		if err != nil {
 			return nil, 0, err
 		}

@@ -36,6 +36,9 @@ type ServeBenchEnv struct {
 
 	observeBodies [ServeBenchPeriod][]byte
 	batchBody     []byte
+	columnarBody  []byte
+	blockSenders  []int64
+	blockSizes    []int64
 	predictURL    string
 }
 
@@ -63,6 +66,29 @@ func NewServeBenchEnv() *ServeBenchEnv {
 	}
 	buf.WriteString(`]}`)
 	env.batchBody = buf.Bytes()
+
+	// The same 64 events in the columnar shape the block pipeline posts.
+	env.blockSenders = make([]int64, ServeBenchBatch)
+	env.blockSizes = make([]int64, ServeBenchBatch)
+	var cbuf bytes.Buffer
+	cbuf.WriteString(`{"tenant":"bench","stream":"s","senders":[`)
+	for i := 0; i < ServeBenchBatch; i++ {
+		env.blockSenders[i] = int64(i % ServeBenchPeriod)
+		env.blockSizes[i] = int64(100 * (i % ServeBenchPeriod))
+		if i > 0 {
+			cbuf.WriteByte(',')
+		}
+		fmt.Fprintf(&cbuf, "%d", env.blockSenders[i])
+	}
+	cbuf.WriteString(`],"sizes":[`)
+	for i := 0; i < ServeBenchBatch; i++ {
+		if i > 0 {
+			cbuf.WriteByte(',')
+		}
+		fmt.Fprintf(&cbuf, "%d", env.blockSizes[i])
+	}
+	cbuf.WriteString(`]}`)
+	env.columnarBody = cbuf.Bytes()
 
 	// Warm for a whole number of pattern repetitions, so a benchmark loop
 	// starting at event 0 continues the stream in phase and the session
@@ -94,6 +120,20 @@ func (e *ServeBenchEnv) ObserveHTTP(i int) error {
 // locked).
 func (e *ServeBenchEnv) ObserveBatchHTTP(int) error {
 	return e.post(e.batchBody)
+}
+
+// ObserveBlockHTTP posts the 64-event batch in columnar form — the body
+// shape the block pipeline's replay ingester emits, landing on the
+// registry's ObserveBlock fast path.
+func (e *ServeBenchEnv) ObserveBlockHTTP(int) error {
+	return e.post(e.columnarBody)
+}
+
+// ObserveBlockDirect feeds the 64-event columns straight into the
+// registry — the under-HTTP block fast path (0 allocs per block).
+func (e *ServeBenchEnv) ObserveBlockDirect(int) error {
+	_, err := e.Registry.ObserveBlock("bench", "s", e.blockSenders, e.blockSizes)
+	return err
 }
 
 func (e *ServeBenchEnv) post(body []byte) error {

@@ -1,0 +1,22 @@
+// Package cliutil holds the small flag helpers shared by the command
+// line tools.
+package cliutil
+
+import "flag"
+
+// SetFlags returns which of the named flags were explicitly set on the
+// command line, prefixed with "-" for error messages. The CLIs use it to
+// reject flags that a selected mode would silently ignore.
+func SetFlags(fs *flag.FlagSet, names ...string) []string {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var set []string
+	fs.Visit(func(f *flag.Flag) {
+		if want[f.Name] {
+			set = append(set, "-"+f.Name)
+		}
+	})
+	return set
+}

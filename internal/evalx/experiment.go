@@ -7,6 +7,7 @@ import (
 	"mpipredict/internal/predictor"
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/strategy"
+	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
@@ -185,37 +186,11 @@ func runExperimentCached(spec workloads.Spec, opts Options, cache *tracecache.Ca
 
 // EvaluateTrace evaluates prediction accuracy on an existing trace for the
 // given receiver. It is used directly by tools that load traces from disk.
+// It is a thin wrapper over the streaming evaluator: the trace is played
+// through EvaluateSource block by block, so the in-memory and streamed
+// paths cannot drift apart (the golden corpus tests pin them identical).
 func EvaluateTrace(tr *trace.Trace, receiver int, opts Options) (Result, error) {
-	opts = opts.withDefaults()
-	factory, name, err := opts.factory()
-	if err != nil {
-		return Result{}, err
-	}
-	res := Result{
-		App:              tr.App,
-		Procs:            tr.Procs,
-		Receiver:         receiver,
-		Strategy:         name,
-		Characterization: tr.Characterize(receiver, trace.Logical, 0.99),
-		Sender:           make(map[trace.Level]StreamAccuracy),
-		Size:             make(map[trace.Level]StreamAccuracy),
-	}
-	// The shared (read-only) stream views avoid copying each stream once
-	// per query; every consumer below only reads.
-	logicalSenders := tr.SenderStreamShared(receiver, trace.Logical)
-	if len(logicalSenders) == 0 {
-		return Result{}, fmt.Errorf("evalx: receiver %d has no logical records in trace %q", receiver, tr.App)
-	}
-	for _, level := range []trace.Level{trace.Logical, trace.Physical} {
-		res.Sender[level] = EvaluateStream(tr.SenderStreamShared(receiver, level), factory, opts.Horizons)
-		res.Size[level] = EvaluateStream(tr.SizeStreamShared(receiver, level), factory, opts.Horizons)
-	}
-	res.SenderSetAccuracy = SetAccuracy(tr.SenderStreamShared(receiver, trace.Physical), factory, opts.Horizons)
-	res.Reordering = MismatchFraction(
-		logicalSenders,
-		tr.SenderStreamShared(receiver, trace.Physical),
-	)
-	return res, nil
+	return EvaluateSource(func() (stream.Source, error) { return stream.TraceSource(tr), nil }, receiver, opts)
 }
 
 // Accuracy returns the accuracy for the requested stream kind, level and

@@ -2,6 +2,7 @@ package evalx
 
 import (
 	"mpipredict/internal/core"
+	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
@@ -67,22 +68,9 @@ func table1SingleCached(spec workloads.Spec, opts Options, cache *tracecache.Cac
 // identical to the row the in-memory simulation path produces for the same
 // trace.
 func Table1RowFromTrace(tr *trace.Trace, receiver int) Table1Row {
-	c := tr.Characterize(receiver, trace.Logical, 0.99)
-	row := Table1Row{
-		App:      tr.App,
-		Procs:    tr.Procs,
-		Receiver: receiver,
-		P2PMsgs:  c.P2PMsgs,
-		CollMsgs: c.CollMsgs,
-		MsgSizes: c.MsgSizes,
-		Senders:  c.Senders,
-	}
-	if ref, ok := PaperTable1[table1Key{tr.App, tr.Procs}]; ok {
-		row.PaperP2P = ref.P2P
-		row.PaperColl = ref.Coll
-		row.PaperSizes = ref.Sizes
-		row.PaperSend = ref.Senders
-	}
+	// A TraceSource never fails, so the streaming characterisation cannot
+	// either; the wrapper keeps the historical error-free signature.
+	row, _ := Table1RowFromSource(func() (stream.Source, error) { return stream.TraceSource(tr), nil }, receiver)
 	return row
 }
 

@@ -1,0 +1,362 @@
+package evalx
+
+import (
+	"math"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"mpipredict/internal/strategy"
+	"mpipredict/internal/stream"
+	"mpipredict/internal/trace"
+	"mpipredict/internal/workloads"
+)
+
+func corpusPath(name string) string {
+	return filepath.Join("..", "..", "testdata", "corpus", name)
+}
+
+var corpusTraces = []string{"bt.4.mpt", "cg.4.mpt", "lu.4.mpt", "is.4.mpt", "sweep3d.6.mpt"}
+
+// resultsEqual compares every field of two Results, including the exact
+// per-horizon hit/total counters.
+func resultsEqual(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.App != want.App || got.Procs != want.Procs || got.Receiver != want.Receiver || got.Strategy != want.Strategy {
+		t.Errorf("%s: identity mismatch: got (%s,%d,%d,%s), want (%s,%d,%d,%s)", label,
+			got.App, got.Procs, got.Receiver, got.Strategy, want.App, want.Procs, want.Receiver, want.Strategy)
+	}
+	if got.Characterization != want.Characterization {
+		t.Errorf("%s: characterization = %+v, want %+v", label, got.Characterization, want.Characterization)
+	}
+	for _, level := range []trace.Level{trace.Logical, trace.Physical} {
+		for kind, pair := range map[string][2]StreamAccuracy{
+			"sender": {got.Sender[level], want.Sender[level]},
+			"size":   {got.Size[level], want.Size[level]},
+		} {
+			g, w := pair[0], pair[1]
+			if g.Samples != w.Samples {
+				t.Errorf("%s: %s/%v samples = %d, want %d", label, kind, level, g.Samples, w.Samples)
+			}
+			for k := range w.Hits {
+				if g.Hits[k] != w.Hits[k] || g.Total[k] != w.Total[k] {
+					t.Errorf("%s: %s/%v horizon +%d = %d/%d, want %d/%d", label, kind, level, k+1,
+						g.Hits[k], g.Total[k], w.Hits[k], w.Total[k])
+				}
+			}
+		}
+	}
+	if got.SenderSetAccuracy != want.SenderSetAccuracy {
+		t.Errorf("%s: set accuracy = %v, want %v", label, got.SenderSetAccuracy, want.SenderSetAccuracy)
+	}
+	if got.Reordering != want.Reordering {
+		t.Errorf("%s: reordering = %v, want %v", label, got.Reordering, want.Reordering)
+	}
+}
+
+// TestEvaluateSourceMatchesEvaluateTraceOnCorpus is the acceptance test
+// of the streaming evaluator: for every corpus trace and every registered
+// strategy, EvaluateSource over the streamed file is hit-for-hit
+// identical to EvaluateTrace over the materialized trace.
+func TestEvaluateSourceMatchesEvaluateTraceOnCorpus(t *testing.T) {
+	for _, name := range corpusTraces {
+		path := corpusPath(name)
+		tr, err := trace.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", name, err)
+		}
+		receiver, err := workloads.ReplayReceiver(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range strategy.Names() {
+			opts := Options{Strategy: strat, NoCache: true}
+			want, err := EvaluateTrace(tr, receiver, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: EvaluateTrace: %v", name, strat, err)
+			}
+			got, err := EvaluateSource(stream.FileOpener(path), receiver, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: EvaluateSource: %v", name, strat, err)
+			}
+			resultsEqual(t, name+"/"+strat, got, want)
+		}
+	}
+}
+
+// TestEvaluateSourceStreamScorerMatchesEvaluateStream cross-checks the
+// incremental scorer against the historical batch loop on raw streams,
+// including the awkward lengths around the horizon boundary.
+func TestEvaluateSourceStreamScorerMatchesEvaluateStream(t *testing.T) {
+	patterns := [][]int64{
+		{},
+		{5},
+		{1, 2, 3},
+		{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2},
+	}
+	long := make([]int64, 500)
+	for i := range long {
+		long[i] = int64(i % 7)
+	}
+	patterns = append(patterns, long)
+	for _, stream := range patterns {
+		for _, h := range []int{1, 3, 5} {
+			want := EvaluateStream(stream, nil, h)
+			sc := newStreamScorer(DefaultPredictor(), h)
+			for _, v := range stream {
+				sc.push(v)
+			}
+			got := sc.finish()
+			if got.Samples != want.Samples {
+				t.Fatalf("len=%d h=%d: samples %d != %d", len(stream), h, got.Samples, want.Samples)
+			}
+			for k := range want.Hits {
+				if got.Hits[k] != want.Hits[k] || got.Total[k] != want.Total[k] {
+					t.Errorf("len=%d h=%d +%d: %d/%d, want %d/%d", len(stream), h, k+1,
+						got.Hits[k], got.Total[k], want.Hits[k], want.Total[k])
+				}
+			}
+		}
+	}
+}
+
+// TestSetScorerMatchesSetAccuracy does the same for the order-free score.
+func TestSetScorerMatchesSetAccuracy(t *testing.T) {
+	streams := [][]int64{
+		{},
+		{1, 2},
+		{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3, 2, 1, 3},
+	}
+	long := make([]int64, 400)
+	for i := range long {
+		long[i] = int64(i % 9)
+	}
+	streams = append(streams, long)
+	for _, s := range streams {
+		for _, w := range []int{1, 5} {
+			want := SetAccuracy(s, nil, w)
+			sc := newSetScorer(DefaultPredictor(), w)
+			for _, v := range s {
+				sc.push(v)
+			}
+			if got := sc.finish(); got != want {
+				t.Errorf("len=%d w=%d: set accuracy %v, want %v", len(s), w, got, want)
+			}
+		}
+	}
+}
+
+// evalAllocBytes measures the heap bytes EvaluateSource allocates over a
+// synthetic stream of the given length.
+func evalAllocBytes(t *testing.T, events int) uint64 {
+	t.Helper()
+	cfg := trace.SynthConfig{
+		App: "synth", Procs: 5, Receiver: 0,
+		Pattern: []trace.SynthMessage{
+			{Sender: 1, Size: 64}, {Sender: 2, Size: 128}, {Sender: 3, Size: 64}, {Sender: 4, Size: 256},
+		},
+		Events:          events,
+		SwapProbability: 0.1,
+		Seed:            11,
+	}
+	open := func() (stream.Source, error) { return stream.SynthSource(cfg), nil }
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := EvaluateSource(open, 0, Options{NoCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestEvaluateSourceMemoryIndependentOfTraceLength is the acceptance
+// criterion's memory test: evaluating a 16x longer stream must not
+// allocate meaningfully more, because blocks, scorer rings and predictor
+// state are all bounded. (The batch path allocates the full streams up
+// front, linear in the trace.)
+func TestEvaluateSourceMemoryIndependentOfTraceLength(t *testing.T) {
+	small := evalAllocBytes(t, 4_000)
+	large := evalAllocBytes(t, 64_000)
+	// Allow generous constant slack for GC bookkeeping noise, but reject
+	// anything resembling linear growth (16x the events).
+	if large > 2*small+1<<20 {
+		t.Errorf("allocations grew with trace length: %d bytes for 4k events, %d for 64k", small, large)
+	}
+}
+
+// TestPerturbedAndMergedCorpusAccuracy pins the robustness transforms
+// end to end: a fixed-seed perturbation of a corpus trace produces the
+// exact same accuracy on every run, and the recorded deltas document how
+// the DPD degrades as arrival noise grows. The merged-scenario case
+// interleaves two corpus traces and checks each receiver's stream scores
+// exactly as it does alone (the merge leaves per-stream order intact).
+func TestPerturbedAndMergedCorpusAccuracy(t *testing.T) {
+	const tolerance = 1e-12
+	baseline := func(path string, receiver int) Result {
+		res, err := EvaluateSource(stream.FileOpener(path), receiver, Options{NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	tests := []struct {
+		name string
+		cfg  stream.PerturbConfig
+		// wantMean is the mean +1..+5 physical sender accuracy of the
+		// perturbed bt.4 stream; wantDelta the drop from the pristine
+		// trace. Values pinned from a reference run — deterministic for
+		// the fixed seed. The zero-delta swap rows are themselves the
+		// finding: sparse adjacent transpositions leave the DPD's hit
+		// counts untouched (its locked pattern already absorbs the local
+		// reorder Figure 2 illustrates), while event loss breaks the
+		// period alignment and moves accuracy in either direction.
+		wantMean  float64
+		wantDelta float64
+	}{
+		{
+			name:     "no perturbation",
+			cfg:      stream.PerturbConfig{Seed: 1},
+			wantMean: 0, wantDelta: 0, // identity case, checked against the baseline
+		},
+		{
+			name:      "sparse adjacent swaps",
+			cfg:       stream.PerturbConfig{SwapProbability: 0.2, PhysicalOnly: true, Seed: 1},
+			wantMean:  0.425038679340682,
+			wantDelta: 0,
+		},
+		{
+			name:      "dense adjacent swaps",
+			cfg:       stream.PerturbConfig{SwapProbability: 0.35, PhysicalOnly: true, Seed: 2},
+			wantMean:  0.425038679340682,
+			wantDelta: 0,
+		},
+		{
+			name:      "swap and loss",
+			cfg:       stream.PerturbConfig{SwapProbability: 0.5, DropProbability: 0.1, PhysicalOnly: true, Seed: 2},
+			wantMean:  0.398993866924901,
+			wantDelta: 0.026044812415781,
+		},
+		{
+			name:      "swap and loss, adversarial seed",
+			cfg:       stream.PerturbConfig{SwapProbability: 0.5, DropProbability: 0.1, PhysicalOnly: true, Seed: 9},
+			wantMean:  0.014358974358974,
+			wantDelta: 0.410679704981708,
+		},
+	}
+
+	path := corpusPath("bt.4.mpt")
+	tr, err := trace.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := workloads.ReplayReceiver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := baseline(path, receiver)
+	baseMean := base.Sender[trace.Physical].Mean()
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			open := func() (stream.Source, error) {
+				src, err := stream.OpenFile(path)
+				if err != nil {
+					return nil, err
+				}
+				return stream.Perturb(src, tt.cfg), nil
+			}
+			res, err := EvaluateSource(open, receiver, Options{NoCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean := res.Sender[trace.Physical].Mean()
+			if tt.name == "no perturbation" {
+				if mean != baseMean {
+					t.Fatalf("identity perturbation changed accuracy: %v != %v", mean, baseMean)
+				}
+				return
+			}
+			if math.Abs(mean-tt.wantMean) > tolerance {
+				t.Errorf("perturbed mean = %.15f, want %.15f", mean, tt.wantMean)
+			}
+			if delta := baseMean - mean; math.Abs(delta-tt.wantDelta) > tolerance {
+				t.Errorf("accuracy delta = %.15f, want %.15f", delta, tt.wantDelta)
+			}
+			// Determinism: a second evaluation over a fresh perturbed
+			// source reproduces the numbers bit for bit.
+			again, err := EvaluateSource(open, receiver, Options{NoCache: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Sender[trace.Physical].Mean() != mean {
+				t.Error("same seed produced a different perturbed accuracy")
+			}
+		})
+	}
+
+	t.Run("merged scenario preserves per-stream accuracy", func(t *testing.T) {
+		other := corpusPath("cg.4.mpt")
+		otherTr, err := trace.Load(other)
+		if err != nil {
+			t.Fatal(err)
+		}
+		otherReceiver, err := workloads.ReplayReceiver(otherTr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shift the second trace's receiver ranks out of the first's
+		// range so the merged scenario has disjoint sessions.
+		const shift = 100
+		openMerged := func() (stream.Source, error) {
+			a, err := stream.OpenFile(path)
+			if err != nil {
+				return nil, err
+			}
+			b, err := stream.OpenFile(other)
+			if err != nil {
+				return nil, err
+			}
+			return stream.Merge(a, shiftReceivers(b, shift)), nil
+		}
+		mergedBT, err := EvaluateSource(openMerged, receiver, Options{NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mergedCG, err := EvaluateSource(openMerged, otherReceiver+shift, Options{NoCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := mergedBT.Sender[trace.Physical].Mean(), baseMean; got != want {
+			t.Errorf("bt stream scored %v inside the merge, %v alone", got, want)
+		}
+		cgAlone := baseline(other, otherReceiver)
+		if got, want := mergedCG.Sender[trace.Physical].Mean(), cgAlone.Sender[trace.Physical].Mean(); got != want {
+			t.Errorf("cg stream scored %v inside the merge, %v alone", got, want)
+		}
+	})
+}
+
+// shiftReceivers offsets every receiver rank — a tiny test-local
+// transform demonstrating the Source composition the pipeline allows.
+type receiverShifter struct {
+	src   stream.Source
+	shift int
+}
+
+func shiftReceivers(src stream.Source, shift int) stream.Source {
+	return &receiverShifter{src: src, shift: shift}
+}
+
+func (s *receiverShifter) Next(b *stream.EventBlock) error {
+	if err := s.src.Next(b); err != nil {
+		return err
+	}
+	for i := range b.Receiver {
+		b.Receiver[i] += s.shift
+	}
+	return nil
+}
+
+func (s *receiverShifter) Close() error { return stream.Close(s.src) }

@@ -182,6 +182,22 @@ func formatBytes(n int64) string {
 	}
 }
 
+// StrategyComparisonCSV renders the comparison in long-form CSV — one
+// row per (workload, strategy) with the mean sender accuracy at both
+// levels as fractions — the shape analysis scripts want to pivot and
+// plot (`mpipredict -experiment compare -format csv`).
+func StrategyComparisonCSV(cmp evalx.StrategyComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app,procs,strategy,horizons,logical_mean_sender_accuracy,physical_mean_sender_accuracy\n")
+	for _, row := range cmp.Rows {
+		for _, name := range cmp.Strategies {
+			fmt.Fprintf(&b, "%s,%d,%s,%d,%.6f,%.6f\n",
+				row.App, row.Procs, name, cmp.Horizons, row.Logical[name], row.Physical[name])
+		}
+	}
+	return b.String()
+}
+
 // StrategyComparison renders the per-strategy accuracy comparison: one row
 // per workload, one "logical | physical" column per strategy, mean
 // +1..+k sender-stream accuracy as percentages.

@@ -54,6 +54,35 @@ func BenchmarkServePredict(b *testing.B) {
 	benchdefs.ReportThroughput(b)
 }
 
+// BenchmarkServeObserveBlock measures the columnar observe path: the
+// same 64 events as the batch bench, in the body shape the block
+// pipeline posts, landing on ObserveBlock.
+func BenchmarkServeObserveBlock(b *testing.B) {
+	env := benchdefs.NewServeBenchEnv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.ObserveBlockHTTP(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportBatchThroughput(b)
+}
+
+// BenchmarkRegistryObserveBlock isolates the block fast path under the
+// HTTP layer — 64 columnar events per call, zero allocations.
+func BenchmarkRegistryObserveBlock(b *testing.B) {
+	env := benchdefs.NewServeBenchEnv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.ObserveBlockDirect(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportBatchThroughput(b)
+}
+
 // BenchmarkRegistryObserve isolates the registry hot path under the HTTP
 // layer — the zero-allocation single-event observe.
 func BenchmarkRegistryObserve(b *testing.B) {

@@ -336,21 +336,7 @@ func (r *Registry) ObserveBatch(tenant, stream string, events []Event) int64 {
 // events learns the same verdict a real batch would get.
 func (r *Registry) ObserveBatchAs(tenant, stream, strat string, events []Event) (int64, error) {
 	if len(events) == 0 {
-		if strat != "" && !strategy.Known(strat) {
-			return 0, fmt.Errorf("serve: unknown strategy %q (known: %v)", strat, strategy.Names())
-		}
-		sh := r.shardFor(tenant, stream)
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		s := sh.sessions[sessionKey{tenant, stream}]
-		if s == nil {
-			return 0, nil
-		}
-		if strat != "" && strat != s.strategy {
-			return 0, fmt.Errorf("%w: session %s/%s uses %q, request asked for %q",
-				ErrStrategyMismatch, tenant, stream, s.strategy, strat)
-		}
-		return s.observed, nil
+		return r.probeSession(tenant, stream, strat)
 	}
 	sh := r.shardFor(tenant, stream)
 	sh.mu.Lock()
@@ -369,6 +355,70 @@ func (r *Registry) ObserveBatchAs(tenant, stream, strat string, events []Event) 
 	sh.mu.Unlock()
 	r.events.Add(int64(len(events)))
 	return total, nil
+}
+
+// ObserveBlock feeds a column pair — parallel sender and size arrays, the
+// layout of one stream.EventBlock — to the (tenant, stream) session under
+// a single shard lock. It is the block-pipeline fast path: serve.Replay
+// and the columnar observe handler land here, and for an existing session
+// it performs zero heap allocations regardless of the column length
+// (pinned by alloc_test.go). The slices are only read.
+func (r *Registry) ObserveBlock(tenant, stream string, senders, sizes []int64) (int64, error) {
+	return r.ObserveBlockAs(tenant, stream, "", senders, sizes)
+}
+
+// ObserveBlockAs is ObserveBlock with an explicit strategy, following the
+// same creation/mismatch rules as ObserveAs. The columns must be of equal
+// length; no event is observed otherwise. An empty pair behaves like an
+// empty ObserveBatchAs: no session is created, but the name and mismatch
+// validation still applies.
+func (r *Registry) ObserveBlockAs(tenant, stream, strat string, senders, sizes []int64) (int64, error) {
+	if len(senders) != len(sizes) {
+		return 0, fmt.Errorf("serve: observe block columns disagree: %d senders, %d sizes", len(senders), len(sizes))
+	}
+	if len(senders) == 0 {
+		return r.probeSession(tenant, stream, strat)
+	}
+	sh := r.shardFor(tenant, stream)
+	sh.mu.Lock()
+	s, err := r.getLocked(sh, tenant, stream, strat)
+	if err != nil {
+		sh.mu.Unlock()
+		return 0, err
+	}
+	for i := range senders {
+		s.sender.Observe(senders[i])
+		s.size.Observe(sizes[i])
+	}
+	s.observed += int64(len(senders))
+	s.lastSeen = r.cfg.Clock()
+	total := s.observed
+	sh.mu.Unlock()
+	r.events.Add(int64(len(senders)))
+	return total, nil
+}
+
+// probeSession applies the strategy name and mismatch validation of an
+// empty batch without creating a session, returning the session's current
+// observed count (zero when it does not exist). Shared by the empty cases
+// of ObserveBatchAs and ObserveBlockAs, so a caller probing with zero
+// events learns the same verdict a real batch would get.
+func (r *Registry) probeSession(tenant, stream, strat string) (int64, error) {
+	if strat != "" && !strategy.Known(strat) {
+		return 0, fmt.Errorf("serve: unknown strategy %q (known: %v)", strat, strategy.Names())
+	}
+	sh := r.shardFor(tenant, stream)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.sessions[sessionKey{tenant, stream}]
+	if s == nil {
+		return 0, nil
+	}
+	if strat != "" && strat != s.strategy {
+		return 0, fmt.Errorf("%w: session %s/%s uses %q, request asked for %q",
+			ErrStrategyMismatch, tenant, stream, s.strategy, strat)
+	}
+	return s.observed, nil
 }
 
 // ForecastInto appends forecasts for the next k messages of the session to

@@ -1,12 +1,19 @@
 package serve
 
 // The replay ingester: feed a recorded trace (any .mpt or JSONL file the
-// repo can produce) through a running daemon's HTTP API. Every traced
-// (receiver, level) pair becomes one session, so a corpus trace doubles as
-// a load generator — `mpipredictd -replay testdata/corpus/bt.4.mpt -target
-// http://...` pushes the exact event streams the offline harness
-// evaluates, and the daemon's sessions end up in the exact state the
-// offline predictors reach.
+// repo can produce, or any composed stream.Source) through a running
+// daemon's HTTP API. Every traced (receiver, level) pair becomes one
+// session, so a corpus trace doubles as a load generator — `mpipredictd
+// -replay testdata/corpus/bt.4.mpt -target http://...` pushes the exact
+// event streams the offline harness evaluates, and the daemon's sessions
+// end up in the exact state the offline predictors reach.
+//
+// The ingester is block-based end to end: events arrive in columnar
+// EventBlocks, are bucketed per (receiver, level) session into columnar
+// batch buffers, and leave as columnar observe requests that land on the
+// registry's ObserveBlock fast path. Memory is bounded by sessions ×
+// batch size — independent of the trace length — so a trace far larger
+// than RAM replays in one pass.
 
 import (
 	"bytes"
@@ -14,8 +21,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 
+	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
 )
 
@@ -33,7 +42,8 @@ func DefaultTenant(tr *trace.Trace) string {
 
 // ReplayOptions control a trace replay.
 type ReplayOptions struct {
-	// Tenant overrides the session tenant (default DefaultTenant(tr)).
+	// Tenant overrides the session tenant (default: "<app>.<procs>" from
+	// the source's metadata; required when the source carries none).
 	Tenant string
 	// BatchSize is the number of events per observe request (default 64).
 	BatchSize int
@@ -64,13 +74,38 @@ func (s ReplayStats) String() string {
 		s.Tenant, s.Sessions, s.Events, s.Requests, s.Duration.Round(time.Millisecond), s.EventsPerSec())
 }
 
+// sessionBatch is the per-(receiver, level) columnar accumulation buffer.
+type sessionBatch struct {
+	stream  string
+	senders []int64
+	sizes   []int64
+}
+
+// replayKey orders session flushes deterministically.
+type replayKey struct {
+	receiver int
+	level    trace.Level
+}
+
 // Replay feeds every traced (receiver, level) stream of tr through the
-// observe API of the daemon at baseURL. Events of one session are sent in
-// order (batched), so the daemon's predictor state after the replay is
-// exactly what the offline harness computes for the same streams.
+// observe API of the daemon at baseURL. It is a thin wrapper over
+// ReplaySource with an in-memory trace source.
 func Replay(baseURL string, tr *trace.Trace, opts ReplayOptions) (ReplayStats, error) {
+	return ReplaySource(baseURL, stream.TraceSource(tr), opts)
+}
+
+// ReplaySource feeds every traced (receiver, level) stream of a block
+// source through the observe API of the daemon at baseURL. Events of one
+// session are sent in stream order (batched into columnar observe
+// requests), so the daemon's predictor state after the replay is exactly
+// what the offline harness computes for the same streams.
+func ReplaySource(baseURL string, src stream.Source, opts ReplayOptions) (ReplayStats, error) {
 	if opts.Tenant == "" {
-		opts.Tenant = DefaultTenant(tr)
+		md, ok := stream.MetaOf(src)
+		if !ok {
+			return ReplayStats{}, fmt.Errorf("serve: replay source carries no app/procs metadata; set ReplayOptions.Tenant")
+		}
+		opts.Tenant = fmt.Sprintf("%s.%d", md.App, md.Procs)
 	}
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = 64
@@ -80,40 +115,76 @@ func Replay(baseURL string, tr *trace.Trace, opts ReplayOptions) (ReplayStats, e
 	}
 	stats := ReplayStats{Tenant: opts.Tenant}
 	start := time.Now()
-	events := make([]Event, 0, opts.BatchSize)
-	for _, receiver := range tr.Receivers() {
-		for _, level := range []trace.Level{trace.Logical, trace.Physical} {
-			senders := tr.SenderStreamShared(receiver, level)
-			sizes := tr.SizeStreamShared(receiver, level)
-			if len(senders) == 0 {
-				continue
+	batches := make(map[replayKey]*sessionBatch)
+	flush := func(b *sessionBatch) error {
+		if len(b.senders) == 0 {
+			return nil
+		}
+		if err := postObserveColumns(opts.Client, baseURL, opts.Tenant, b.stream, b.senders, b.sizes); err != nil {
+			return fmt.Errorf("serve: replaying %s/%s: %w", opts.Tenant, b.stream, err)
+		}
+		stats.Events += int64(len(b.senders))
+		stats.Requests++
+		b.senders = b.senders[:0]
+		b.sizes = b.sizes[:0]
+		return nil
+	}
+
+	var blk stream.EventBlock
+	for {
+		err := src.Next(&blk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, err
+		}
+		for i := 0; i < blk.Len(); i++ {
+			k := replayKey{blk.Receiver[i], blk.Level[i]}
+			b := batches[k]
+			if b == nil {
+				b = &sessionBatch{
+					stream:  StreamName(k.receiver, k.level),
+					senders: make([]int64, 0, opts.BatchSize),
+					sizes:   make([]int64, 0, opts.BatchSize),
+				}
+				batches[k] = b
+				stats.Sessions++
 			}
-			stream := StreamName(receiver, level)
-			stats.Sessions++
-			for i := 0; i < len(senders); i += opts.BatchSize {
-				end := i + opts.BatchSize
-				if end > len(senders) {
-					end = len(senders)
+			b.senders = append(b.senders, blk.Sender[i])
+			b.sizes = append(b.sizes, blk.Size[i])
+			if len(b.senders) >= opts.BatchSize {
+				if err := flush(b); err != nil {
+					return stats, err
 				}
-				events = events[:0]
-				for j := i; j < end; j++ {
-					events = append(events, Event{Sender: senders[j], Size: sizes[j]})
-				}
-				if err := postObserve(opts.Client, baseURL, opts.Tenant, stream, events); err != nil {
-					return stats, fmt.Errorf("serve: replaying %s/%s: %w", opts.Tenant, stream, err)
-				}
-				stats.Events += int64(end - i)
-				stats.Requests++
 			}
+		}
+	}
+	// Flush the partial tails in a fixed session order, so the request
+	// sequence of a replay is deterministic.
+	keys := make([]replayKey, 0, len(batches))
+	for k := range batches {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].receiver != keys[j].receiver {
+			return keys[i].receiver < keys[j].receiver
+		}
+		return keys[i].level < keys[j].level
+	})
+	for _, k := range keys {
+		if err := flush(batches[k]); err != nil {
+			return stats, err
 		}
 	}
 	stats.Duration = time.Since(start)
 	return stats, nil
 }
 
-// postObserve issues one observe request and verifies it was accepted.
-func postObserve(client *http.Client, baseURL, tenant, stream string, events []Event) error {
-	body, err := json.Marshal(observeRequest{Tenant: tenant, Stream: stream, Events: events})
+// postObserveColumns issues one columnar observe request and verifies it
+// was accepted.
+func postObserveColumns(client *http.Client, baseURL, tenant, stream string, senders, sizes []int64) error {
+	body, err := json.Marshal(observeRequest{Tenant: tenant, Stream: stream, Senders: senders, Sizes: sizes})
 	if err != nil {
 		return err
 	}

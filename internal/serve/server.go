@@ -63,11 +63,19 @@ type Server struct {
 // that creates the session (the first observe) — afterwards it may be
 // omitted, and naming a different strategy than the session's is a
 // conflict.
+//
+// Events may be given in one of two shapes, not both: the object form
+// ("events": [{"sender","size"},...]) or the columnar form ("senders"
+// and "sizes" as parallel arrays). The columnar form is what the block
+// pipeline emits (stream.EventBlock is columnar end to end) and lands on
+// the registry's ObserveBlock fast path; the replay ingester uses it.
 type observeRequest struct {
 	Tenant    string  `json:"tenant"`
 	Stream    string  `json:"stream"`
 	Predictor string  `json:"predictor,omitempty"`
-	Events    []Event `json:"events"`
+	Events    []Event `json:"events,omitempty"`
+	Senders   []int64 `json:"senders,omitempty"`
+	Sizes     []int64 `json:"sizes,omitempty"`
 }
 
 // scratch is the pooled per-request state. Decoding into the retained
@@ -165,6 +173,8 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	sc.req.Events = sc.req.Events[:cap(sc.req.Events)]
 	clear(sc.req.Events)
 	sc.req.Events = sc.req.Events[:0]
+	sc.req.Senders = sc.req.Senders[:0]
+	sc.req.Sizes = sc.req.Sizes[:0]
 
 	dec := json.NewDecoder(io.LimitReader(r.Body, maxObserveBody))
 	if err := dec.Decode(&sc.req); err != nil {
@@ -175,7 +185,20 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "tenant and stream are required and at most %d bytes", MaxKeyLen)
 		return
 	}
-	if len(sc.req.Events) == 0 {
+	columnar := len(sc.req.Senders) > 0 || len(sc.req.Sizes) > 0
+	if columnar && len(sc.req.Events) > 0 {
+		writeError(w, http.StatusBadRequest, "give events either as objects or as senders/sizes columns, not both")
+		return
+	}
+	if columnar && len(sc.req.Senders) != len(sc.req.Sizes) {
+		writeError(w, http.StatusBadRequest, "senders and sizes must be the same length (%d != %d)", len(sc.req.Senders), len(sc.req.Sizes))
+		return
+	}
+	n := len(sc.req.Events)
+	if columnar {
+		n = len(sc.req.Senders)
+	}
+	if n == 0 {
 		writeError(w, http.StatusBadRequest, "events must not be empty")
 		return
 	}
@@ -183,15 +206,21 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown predictor %q (known: %v)", sc.req.Predictor, strategy.Names())
 		return
 	}
-	total, err := s.reg.ObserveBatchAs(sc.req.Tenant, sc.req.Stream, sc.req.Predictor, sc.req.Events)
+	var total int64
+	var err error
+	if columnar {
+		total, err = s.reg.ObserveBlockAs(sc.req.Tenant, sc.req.Stream, sc.req.Predictor, sc.req.Senders, sc.req.Sizes)
+	} else {
+		total, err = s.reg.ObserveBatchAs(sc.req.Tenant, sc.req.Stream, sc.req.Predictor, sc.req.Events)
+	}
 	if err != nil {
-		// The name was validated above, so the only remaining failure is a
-		// strategy conflict with an existing session.
+		// The name and column lengths were validated above, so the only
+		// remaining failure is a strategy conflict with an existing session.
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"observed\":%d,\"session_observed\":%d}\n", len(sc.req.Events), total)
+	fmt.Fprintf(w, "{\"observed\":%d,\"session_observed\":%d}\n", n, total)
 }
 
 // predictResponse is the GET /v1/predict body.

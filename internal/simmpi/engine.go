@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mpipredict/internal/simnet"
+	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
 )
 
@@ -62,6 +63,14 @@ type Engine struct {
 	ranks []*Rank
 	tr    *trace.Trace
 
+	// sink, when non-nil, receives the run's events as blocks instead of
+	// the trace accumulating them: logical records leave the engine as
+	// soon as a block fills, so only the physical buffer (which must be
+	// time-sorted at the end) scales with the run. RunStream sets it.
+	sink    stream.Sink
+	blk     stream.EventBlock
+	sinkErr error
+
 	traceAll   bool
 	traceSet   map[int]bool
 	physical   map[int][]trace.Record // per receiver, unsorted physical events
@@ -104,8 +113,31 @@ func (e *Engine) traced(receiver int) bool {
 // It returns an error if the program deadlocks (every unfinished rank is
 // blocked on a message that will never arrive) or panics.
 func (e *Engine) Run(program Program) (*trace.Trace, error) {
+	if err := e.execute(program); err != nil {
+		return nil, err
+	}
+	return e.tr, nil
+}
+
+// RunStream executes the program and delivers the run's events to the
+// sink as blocks, in the exact order Run would have stored them (all
+// logical records in completion order, then the physical records sorted
+// per receiver) — a sink fed by RunStream and a trace built by Run encode
+// byte-identically. Logical records are never buffered beyond one block.
+func (e *Engine) RunStream(program Program, sink stream.Sink) error {
+	e.sink = sink
+	if err := e.execute(program); err != nil {
+		return err
+	}
+	e.flushBlock()
+	return e.sinkErr
+}
+
+// execute runs the scheduler loop and flushes the physical buffer; the
+// collected events are in e.tr or have been emitted to e.sink.
+func (e *Engine) execute(program Program) error {
 	if program == nil {
-		return nil, fmt.Errorf("simmpi: nil program")
+		return fmt.Errorf("simmpi: nil program")
 	}
 	for _, r := range e.ranks {
 		r.start(program)
@@ -136,13 +168,39 @@ func (e *Engine) Run(program Program) (*trace.Trace, error) {
 		}
 	}
 	if e.programErr != nil {
-		return nil, fmt.Errorf("simmpi: rank program failed: %w", e.programErr)
+		return fmt.Errorf("simmpi: rank program failed: %w", e.programErr)
 	}
 	if e.deadlock {
-		return nil, fmt.Errorf("simmpi: deadlock: %s", e.describeBlockedRanks())
+		return fmt.Errorf("simmpi: deadlock: %s", e.describeBlockedRanks())
 	}
 	e.flushPhysical()
-	return e.tr, nil
+	return nil
+}
+
+// emit routes one finished record: into the trace by default, into the
+// block pipeline when a sink is attached. Sink errors are remembered and
+// further emission stops; RunStream reports them after the run (the rank
+// programs deep below cannot propagate an error mid-simulation).
+func (e *Engine) emit(rec trace.Record) {
+	if e.sink == nil {
+		e.tr.Append(rec)
+		return
+	}
+	if e.sinkErr != nil {
+		return
+	}
+	e.blk.Append(rec)
+	if e.blk.Len() >= stream.BlockLen {
+		e.flushBlock()
+	}
+}
+
+func (e *Engine) flushBlock() {
+	if e.sinkErr != nil || e.blk.Len() == 0 {
+		return
+	}
+	e.sinkErr = e.sink.Write(&e.blk)
+	e.blk.Reset()
 }
 
 func (e *Engine) describeBlockedRanks() string {
@@ -174,12 +232,14 @@ func (e *Engine) flushPhysical() {
 		total += len(recs)
 	}
 	sort.Ints(receivers)
-	e.tr.Grow(total)
+	if e.sink == nil {
+		e.tr.Grow(total)
+	}
 	for _, recv := range receivers {
 		recs := e.physical[recv]
 		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time < recs[j].Time })
 		for _, rec := range recs {
-			e.tr.Append(rec)
+			e.emit(rec)
 		}
 	}
 }
@@ -191,7 +251,7 @@ func (e *Engine) recordLogical(rec trace.Record) {
 		return
 	}
 	rec.Level = trace.Logical
-	e.tr.Append(rec)
+	e.emit(rec)
 }
 
 // recordPhysical buffers a physical-level arrival record, if tracing is
@@ -241,4 +301,16 @@ func Run(cfg Config, program Program) (*trace.Trace, error) {
 		return nil, err
 	}
 	return e.Run(program)
+}
+
+// RunToSink is the streaming convenience wrapper: build an engine, run
+// the program, deliver the events to the sink as blocks. The trace is
+// never materialized (only the physical-sort buffer scales with the run),
+// and the emitted event order is identical to what Run stores.
+func RunToSink(cfg Config, program Program, sink stream.Sink) error {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	return e.RunStream(program, sink)
 }

@@ -482,26 +482,3 @@ func LoadBinaryFile(path string) (*Trace, error) {
 	}
 	return tr, nil
 }
-
-// Load reads a trace from the named file in either supported format,
-// sniffing the binary magic to decide.
-func Load(path string) (*Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	head, err := br.Peek(len(binaryMagic))
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading %s: %w", path, corruptf("file too short: %v", err))
-	}
-	if [4]byte(head) == binaryMagic {
-		tr, err := ReadBinary(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading %s: %w", path, err)
-		}
-		return tr, nil
-	}
-	return ReadJSONL(br)
-}

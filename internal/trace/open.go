@@ -1,0 +1,135 @@
+package trace
+
+// trace.Open is the single place that knows how to tell the two on-disk
+// trace formats apart. Every consumer that accepts "a trace file" — the
+// evaluation replays, the serve ingester, all CLIs — goes through it
+// (directly or via Load), so the binary-vs-JSONL sniffing logic exists
+// exactly once.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is an open trace file being read record by record, in either
+// supported format. It is the streaming sibling of Load: App and Procs
+// come from the file header, Read returns events in stream order until
+// io.EOF, and nothing beyond the I/O buffer is held in memory.
+type File struct {
+	f     *os.File
+	path  string
+	app   string
+	procs int
+
+	// Exactly one of the two is non-nil, selected by the magic sniff.
+	bin   *Reader
+	jsonl *JSONLReader
+	// br is the buffered view the binary reader consumes; kept so Read
+	// can reject trailing bytes after the trailer, exactly like Load.
+	br *bufio.Reader
+}
+
+// Open opens the named trace file, sniffs the binary magic to pick the
+// format, consumes the header and returns a File positioned at the first
+// record. The caller must Close it.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
+	}
+	of, err := openReader(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	of.f = f
+	return of, nil
+}
+
+// openReader sniffs and wraps an already-open stream; it is split from
+// Open so the format decision is testable without a file system.
+func openReader(r io.Reader, path string) (*File, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading %s: %w", path, corruptf("file too short: %v", err))
+	}
+	of := &File{path: path, br: br}
+	if [4]byte(head) == binaryMagic {
+		rd, err := NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading %s: %w", path, err)
+		}
+		of.bin = rd
+		of.app, of.procs = rd.App(), rd.Procs()
+		return of, nil
+	}
+	jr, err := NewJSONLReader(br)
+	if err != nil {
+		return nil, err
+	}
+	of.jsonl = jr
+	of.app, of.procs = jr.App(), jr.Procs()
+	return of, nil
+}
+
+// App returns the workload name from the file header.
+func (of *File) App() string { return of.app }
+
+// Procs returns the rank count from the file header.
+func (of *File) Procs() int { return of.procs }
+
+// Binary reports whether the file is in the binary (.mpt) format.
+func (of *File) Binary() bool { return of.bin != nil }
+
+// Read returns the next record, or io.EOF after the last one. For binary
+// files the trailer has been verified by then, and — as a trace file is
+// the whole input — trailing bytes after it are rejected as corruption
+// (leftover data means a botched concatenation or a partial overwrite).
+func (of *File) Read() (Record, error) {
+	if of.bin == nil {
+		return of.jsonl.Read()
+	}
+	rec, err := of.bin.Read()
+	if err == io.EOF {
+		if _, terr := of.br.ReadByte(); terr != io.EOF {
+			return Record{}, fmt.Errorf("trace: reading %s: %w", of.path, corruptf("trailing data after the trace trailer"))
+		}
+		return rec, io.EOF
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: reading %s: %w", of.path, err)
+	}
+	return rec, nil
+}
+
+// Close closes the underlying file.
+func (of *File) Close() error {
+	if of.f == nil {
+		return nil
+	}
+	return of.f.Close()
+}
+
+// Load reads a trace from the named file in either supported format,
+// materializing it in memory. Streaming consumers use Open instead.
+func Load(path string) (*Trace, error) {
+	of, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer of.Close()
+	t := New(of.App(), of.Procs())
+	for {
+		rec, err := of.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Append(rec)
+	}
+}

@@ -17,6 +17,12 @@ type SynthConfig struct {
 	Pattern []SynthMessage
 	// Repetitions is how many times the pattern repeats.
 	Repetitions int
+	// Events, when positive, overrides the per-level event count
+	// (len(Pattern)*Repetitions otherwise), truncating or extending the
+	// repetition to exactly this many events. It lets callers size a
+	// stream directly — tracegen -events N — without solving for a
+	// repetition count.
+	Events int
 	// SwapProbability is the per-position probability that a physical
 	// message swaps places with its successor, emulating the arrival-order
 	// randomness of Figure 2. Zero produces identical streams.
@@ -38,6 +44,14 @@ type SynthMessage struct {
 func Synthesize(cfg SynthConfig) *Trace {
 	t := New(cfg.App, cfg.Procs)
 	n := len(cfg.Pattern) * cfg.Repetitions
+	if cfg.Events > 0 {
+		n = cfg.Events
+	}
+	if len(cfg.Pattern) == 0 {
+		// Nothing to repeat: an Events override cannot conjure messages
+		// out of an empty pattern (SynthSource applies the same rule).
+		n = 0
+	}
 	msgs := make([]SynthMessage, 0, n)
 	for i := 0; i < n; i++ {
 		msgs = append(msgs, cfg.Pattern[i%len(cfg.Pattern)])

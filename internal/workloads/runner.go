@@ -5,6 +5,7 @@ import (
 
 	"mpipredict/internal/simmpi"
 	"mpipredict/internal/simnet"
+	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
 )
 
@@ -28,15 +29,15 @@ type RunConfig struct {
 	TraceReceivers []int
 }
 
-// Run simulates the workload and returns its trace. The trace contains
-// logical and physical receive streams for the selected receivers.
-func Run(rc RunConfig) (*trace.Trace, error) {
+// resolve validates the run configuration and builds the simulator
+// config and rank program it selects.
+func resolve(rc RunConfig) (simmpi.Config, simmpi.Program, error) {
 	if err := Validate(rc.Spec); err != nil {
-		return nil, err
+		return simmpi.Config{}, nil, err
 	}
 	program, err := Program(rc.Spec)
 	if err != nil {
-		return nil, err
+		return simmpi.Config{}, nil, err
 	}
 	net := rc.Net
 	if net == (simnet.Config{}) {
@@ -48,16 +49,25 @@ func Run(rc RunConfig) (*trace.Trace, error) {
 	} else if len(receivers) == 0 {
 		recv, err := TypicalReceiver(rc.Spec.Name, rc.Spec.Procs)
 		if err != nil {
-			return nil, err
+			return simmpi.Config{}, nil, err
 		}
 		receivers = []int{recv}
 	}
-	cfg := simmpi.Config{
+	return simmpi.Config{
 		App:            rc.Spec.Name,
 		Procs:          rc.Spec.Procs,
 		Net:            net,
 		Seed:           rc.Seed,
 		TraceReceivers: receivers,
+	}, program, nil
+}
+
+// Run simulates the workload and returns its trace. The trace contains
+// logical and physical receive streams for the selected receivers.
+func Run(rc RunConfig) (*trace.Trace, error) {
+	cfg, program, err := resolve(rc)
+	if err != nil {
+		return nil, err
 	}
 	tr, err := simmpi.Run(cfg, program)
 	if err != nil {
@@ -66,18 +76,40 @@ func Run(rc RunConfig) (*trace.Trace, error) {
 	return tr, nil
 }
 
+// RunToSink simulates the workload and streams its events into the sink
+// as blocks, never materializing the trace — the export path tracegen
+// -stream uses. The emitted event order is identical to the order Run
+// stores, so a streamed export is byte-identical to an in-memory one.
+func RunToSink(rc RunConfig, sink stream.Sink) error {
+	cfg, program, err := resolve(rc)
+	if err != nil {
+		return err
+	}
+	if err := simmpi.RunToSink(cfg, program, sink); err != nil {
+		return fmt.Errorf("workloads: running %s on %d procs: %w", rc.Spec.Name, rc.Spec.Procs, err)
+	}
+	return nil
+}
+
 // ReplayReceiver picks the receiver to evaluate when replaying a trace
 // loaded from disk: the workload's typical receiver when the trace's app
 // is in the catalog and that rank was traced, otherwise the trace's sole
 // traced receiver. Traces of unknown applications with several traced
 // receivers are ambiguous and rejected — the caller must choose.
 func ReplayReceiver(tr *trace.Trace) (int, error) {
-	receivers := tr.Receivers()
+	return PickReplayReceiver(tr.App, tr.Procs, tr.Receivers())
+}
+
+// PickReplayReceiver is ReplayReceiver for streamed traces: the caller
+// supplies the header metadata and the set of traced receivers (sorted,
+// as a one-pass scan or trace.Receivers yields them) instead of a
+// materialized trace.
+func PickReplayReceiver(app string, procs int, receivers []int) (int, error) {
 	if len(receivers) == 0 {
-		return 0, fmt.Errorf("workloads: trace %q holds no receive events", tr.App)
+		return 0, fmt.Errorf("workloads: trace %q holds no receive events", app)
 	}
-	if _, err := Lookup(tr.App); err == nil {
-		if typical, err := TypicalReceiver(tr.App, tr.Procs); err == nil {
+	if _, err := Lookup(app); err == nil {
+		if typical, err := TypicalReceiver(app, procs); err == nil {
 			for _, r := range receivers {
 				if r == typical {
 					return typical, nil
@@ -89,5 +121,5 @@ func ReplayReceiver(tr *trace.Trace) (int, error) {
 		return receivers[0], nil
 	}
 	return 0, fmt.Errorf("workloads: trace %q has %d traced receivers %v and no recognisable typical one; pick a receiver explicitly",
-		tr.App, len(receivers), receivers)
+		app, len(receivers), receivers)
 }

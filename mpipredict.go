@@ -37,6 +37,7 @@ import (
 	"mpipredict/internal/simmpi"
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/strategy"
+	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
@@ -152,6 +153,23 @@ type (
 	ReplayOptions = serve.ReplayOptions
 	// ReplayStats summarise one trace replay.
 	ReplayStats = serve.ReplayStats
+)
+
+// Streaming event-pipeline types (internal/stream): the batched
+// Source/Sink abstraction every layer moves events through.
+type (
+	// EventBlock is a columnar batch of trace events — the unit of the
+	// streaming pipeline.
+	EventBlock = stream.EventBlock
+	// EventSource produces blocks of events (io.EOF terminated).
+	EventSource = stream.Source
+	// EventSink consumes blocks of events.
+	EventSink = stream.Sink
+	// EventSourceOpener opens a fresh source over the same events; the
+	// multi-pass handle streaming evaluation consumes.
+	EventSourceOpener = stream.OpenFunc
+	// PerturbConfig parameterizes the deterministic robustness transform.
+	PerturbConfig = stream.PerturbConfig
 )
 
 // Scalability types.
@@ -311,6 +329,38 @@ func ClearTraceCache() { tracecache.Shared.Clear() }
 func EvaluateTrace(tr *Trace, receiver int, opts EvalOptions) (EvalResult, error) {
 	return evalx.EvaluateTrace(tr, receiver, opts)
 }
+
+// EvaluateSource evaluates prediction accuracy over a streamed event
+// source in constant memory — the block-pipeline sibling of
+// EvaluateTrace. The opener is invoked once per evaluation pass.
+func EvaluateSource(open EventSourceOpener, receiver int, opts EvalOptions) (EvalResult, error) {
+	return evalx.EvaluateSource(open, receiver, opts)
+}
+
+// OpenTraceSource opens a trace file (binary .mpt or JSONL) as a block
+// source; TraceSource streams an in-memory trace; PerturbSource applies
+// a seeded, deterministic robustness perturbation; MergeSources
+// interleaves several sources by event time.
+func OpenTraceSource(path string) (EventSource, error) {
+	src, err := stream.OpenFile(path)
+	if err != nil {
+		// Return an untyped nil, not a nil *FileSource boxed in the
+		// interface, so `src != nil` keeps meaning "usable".
+		return nil, err
+	}
+	return src, nil
+}
+
+// TraceSource streams an in-memory trace as event blocks.
+func TraceSource(tr *Trace) EventSource { return stream.TraceSource(tr) }
+
+// PerturbSource wraps a source with deterministic, seeded perturbation
+// (adjacent swaps and drops) for robustness scenarios.
+func PerturbSource(src EventSource, cfg PerturbConfig) EventSource { return stream.Perturb(src, cfg) }
+
+// MergeSources interleaves several event sources by event time, keeping
+// each source's per-stream order intact.
+func MergeSources(srcs ...EventSource) EventSource { return stream.Merge(srcs...) }
 
 // Table1 reproduces Table 1 of the paper.
 func Table1(opts EvalOptions) ([]Table1Row, error) { return evalx.Table1(opts) }
