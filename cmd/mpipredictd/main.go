@@ -42,10 +42,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"mpipredict/internal/cliutil"
+	"mpipredict/internal/faultinject"
 	"mpipredict/internal/serve"
 	"mpipredict/internal/strategy"
 	"mpipredict/internal/stream"
@@ -86,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	replayPath := fset.String("replay", "", "feed this trace file (.mpt or JSONL) through the observe API")
 	target := fset.String("target", "", "with -replay: send to this daemon URL and exit instead of serving")
 	batch := fset.Int("replay-batch", 64, "events per observe request during replay")
+	drainTimeout := fset.Duration("drain-timeout", 10*time.Second, "how long a shutdown waits for in-flight requests before cutting them off")
+	chaosSpec := fset.String("chaos", "", "TESTING ONLY: inject faults into every served request, e.g. err=0.05,reset=0.05,latency=0.2:2ms,seed=42")
 	if err := fset.Parse(args); err != nil {
 		return err
 	}
@@ -103,9 +107,19 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	if *target != "" {
 		// Client mode runs no server; silently ignoring server knobs would
 		// let the user believe they took effect.
-		if set := cliutil.SetFlags(fset, "addr", "snapshot", "snapshot-interval", "shards", "predictor", "max-sessions", "idle-ttl", "sweep-interval"); len(set) > 0 {
+		if set := cliutil.SetFlags(fset, "addr", "snapshot", "snapshot-interval", "shards", "predictor", "max-sessions", "idle-ttl", "sweep-interval", "drain-timeout", "chaos"); len(set) > 0 {
 			return fmt.Errorf("%v only affect the server and are ignored with -target; drop them", set)
 		}
+	}
+	var chaos faultinject.Config
+	if *chaosSpec != "" {
+		var err error
+		if chaos, err = faultinject.ParseSpec(*chaosSpec); err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+	}
+	if *drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive")
 	}
 	if *predictorName != "" && !strategy.Known(*predictorName) {
 		return fmt.Errorf("unknown -predictor %q (known: %v)", *predictorName, strategy.Names())
@@ -128,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		}
 	}
 	if *target != "" {
-		return runReplayClient(*target, *replayPath, *batch, stdout)
+		return runReplayClient(context.Background(), *target, *replayPath, *batch, stdout)
 	}
 
 	reg := serve.NewRegistry(serve.Config{
@@ -137,6 +151,16 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		IdleTTL:     *idleTTL,
 		Strategy:    *predictorName,
 	})
+	srv := serve.NewServer(reg)
+	// Surface the shared trace cache (hit/miss, coalescing and disk-tier
+	// counters) on /debug/vars: any simulation the daemon process runs
+	// goes through it, and an idle all-zero gauge is itself informative.
+	srv.PublishVar("tracecache", func() interface{} { return tracecache.Shared.Stats() })
+	// /readyz fails until the snapshot restore below completes, so a load
+	// balancer never routes to a half-restored instance (the listener
+	// binds after the restore today, but readiness states the contract
+	// rather than relying on that ordering).
+	srv.SetReady(false)
 	if *snapshotPath != "" {
 		sessions, err := serve.LoadSnapshotFile(*snapshotPath)
 		switch {
@@ -161,6 +185,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		}
 	}
 
+	srv.SetReady(true)
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -171,17 +197,28 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		onListen(bound)
 	}
 
-	srv := serve.NewServer(reg)
-	// Surface the shared trace cache (hit/miss, coalescing and disk-tier
-	// counters) on /debug/vars: any simulation the daemon process runs
-	// goes through it, and an idle all-zero gauge is itself informative.
-	srv.PublishVar("tracecache", func() interface{} { return tracecache.Shared.Stats() })
-	httpSrv := &http.Server{Handler: srv}
+	var handler http.Handler = srv
+	if chaos.Enabled() {
+		fmt.Fprintf(stderr, "mpipredictd: CHAOS MODE: injecting faults into every request (%s)\n", *chaosSpec)
+		handler = faultinject.Middleware(chaos, handler)
+	}
+	// The server-side halves of the resilience story: header/body read
+	// deadlines so a stalled client cannot pin a connection, a write
+	// deadline so a stalled reader cannot, and an idle timeout to reap
+	// abandoned keep-alives. The per-request work deadline lives inside
+	// serve.Server.
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	if *replayPath != "" {
-		stats, err := replayFile("http://"+bound, *replayPath, *batch)
+		stats, err := replayFile(context.Background(), "http://"+bound, *replayPath, *batch)
 		if err != nil {
 			httpSrv.Close()
 			return err
@@ -189,16 +226,31 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		fmt.Fprintf(stdout, "mpipredictd: replay %s\n", stats)
 	}
 
+	// Checkpointing retries transient failures (full disk, NFS hiccup)
+	// with a short backoff; both outcomes are visible on /debug/vars so an
+	// operator can alert on silently failing checkpoints long before a
+	// crash would lose state.
+	var checkpointFailures, checkpointRetries atomic.Int64
+	srv.PublishVar("checkpoint_failures", func() interface{} { return checkpointFailures.Load() })
+	srv.PublishVar("checkpoint_retries", func() interface{} { return checkpointRetries.Load() })
 	checkpoint := func() error {
 		if *snapshotPath == "" {
 			return nil
 		}
 		sessions := reg.SnapshotSessions()
-		if err := serve.SaveSnapshotFile(*snapshotPath, sessions); err != nil {
-			return err
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			if attempt > 0 {
+				checkpointRetries.Add(1)
+				time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+			}
+			if err = serve.SaveSnapshotFile(*snapshotPath, sessions); err == nil {
+				fmt.Fprintf(stdout, "mpipredictd: checkpointed %d sessions to %s\n", len(sessions), *snapshotPath)
+				return nil
+			}
 		}
-		fmt.Fprintf(stdout, "mpipredictd: checkpointed %d sessions to %s\n", len(sessions), *snapshotPath)
-		return nil
+		checkpointFailures.Add(1)
+		return err
 	}
 
 	sweep := time.NewTicker(*sweepEvery)
@@ -213,13 +265,20 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	for {
 		select {
 		case sig := <-sigs:
-			fmt.Fprintf(stdout, "mpipredictd: %v, shutting down\n", sig)
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			// Graceful drain: fail /readyz first so load balancers stop
+			// routing, then stop accepting and wait for in-flight requests,
+			// then write the final checkpoint from the now-quiescent
+			// registry. Requests still running at -drain-timeout are cut
+			// off; their clients retry against the next instance.
+			fmt.Fprintf(stdout, "mpipredictd: %v, draining\n", sig)
+			srv.SetDraining()
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 			err := httpSrv.Shutdown(ctx)
 			cancel()
 			if cerr := checkpoint(); cerr != nil {
 				return cerr
 			}
+			fmt.Fprintf(stdout, "mpipredictd: drained, exiting\n")
 			return err
 		case err := <-serveErr:
 			return err
@@ -259,19 +318,19 @@ func validateTraceFile(path string) error {
 
 // replayFile streams a trace file through a daemon's observe API as
 // columnar blocks, in constant memory.
-func replayFile(target, path string, batch int) (serve.ReplayStats, error) {
+func replayFile(ctx context.Context, target, path string, batch int) (serve.ReplayStats, error) {
 	src, err := stream.OpenFile(path)
 	if err != nil {
 		return serve.ReplayStats{}, err
 	}
 	defer src.Close()
-	return serve.ReplaySource(target, src, serve.ReplayOptions{BatchSize: batch})
+	return serve.ReplaySource(ctx, target, src, serve.ReplayOptions{BatchSize: batch})
 }
 
 // runReplayClient is client mode: push the trace into a running daemon
 // and report throughput.
-func runReplayClient(target, path string, batch int, stdout io.Writer) error {
-	stats, err := replayFile(target, path, batch)
+func runReplayClient(ctx context.Context, target, path string, batch int, stdout io.Writer) error {
+	stats, err := replayFile(ctx, target, path, batch)
 	if err != nil {
 		return err
 	}

@@ -497,6 +497,258 @@ func TestDaemonDebugVarsIncludesTraceCache(t *testing.T) {
 	}
 }
 
+// TestDaemonDebugVarsExposeResilienceCounters pins the operator-facing
+// failure metrics: an idle daemon reports them all as zero, which is the
+// signal an alert on any of them is meaningful.
+func TestDaemonDebugVarsExposeResilienceCounters(t *testing.T) {
+	d := startDaemon(t, "-snapshot", filepath.Join(t.TempDir(), "s.mps"))
+	defer d.stop(t)
+	resp, err := http.Get(d.url() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"duplicate_batches", "recovered_panics", "rejected_overload",
+		"checkpoint_failures", "checkpoint_retries",
+	} {
+		raw, ok := vars[name]
+		if !ok {
+			t.Fatalf("/debug/vars misses %q (have %d vars)", name, len(vars))
+		}
+		if string(raw) != "0" {
+			t.Fatalf("%s = %s on an idle daemon, want 0", name, raw)
+		}
+	}
+}
+
+// observeSeqOne posts one sequenced event: the building block of the
+// crash-recovery protocol, where the client re-sends everything it is
+// unsure about and the seq makes re-delivery harmless.
+func observeSeqOne(t *testing.T, baseURL, tenant, stream string, seq, sender, size int64) {
+	t.Helper()
+	body := fmt.Sprintf(`{"tenant":"%s","stream":"%s","seq":%d,"events":[{"sender":%d,"size":%d}]}`, tenant, stream, seq, sender, size)
+	resp, err := http.Post(baseURL+"/v1/observe", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sequenced observe returned %s", resp.Status)
+	}
+}
+
+// TestDaemonChaosSelfReplayConverges drives the hidden -chaos flag end to
+// end: a daemon injecting faults into every request it serves must still
+// ingest its self-replayed corpus trace completely — the reliable replay
+// client retries through the chaos — and checkpoint a state byte-identical
+// to a fault-free daemon's.
+func TestDaemonChaosSelfReplayConverges(t *testing.T) {
+	dir := t.TempDir()
+	cleanSnap := filepath.Join(dir, "clean.mps")
+	chaosSnap := filepath.Join(dir, "chaos.mps")
+
+	// Batch size 1 turns the 66-event corpus into enough requests for the
+	// fault probabilities to bite.
+	clean := startDaemon(t, "-replay", corpusBT4, "-replay-batch", "1", "-snapshot", cleanSnap)
+	waitForReplay(t, clean)
+	clean.stop(t)
+
+	chaos := startDaemon(t, "-replay", corpusBT4, "-replay-batch", "1", "-snapshot", chaosSnap,
+		"-chaos", "err=0.08,reset=0.08,drop=0.08,truncate=0.08,seed=1803")
+	waitForReplay(t, chaos)
+	if !strings.Contains(chaos.errb.String(), "CHAOS MODE") {
+		t.Fatalf("chaos daemon did not announce itself:\nstderr: %s", chaos.errb.String())
+	}
+	if !strings.Contains(chaos.out.String(), "retries=") || strings.Contains(chaos.out.String(), "retries=0 ") {
+		t.Fatalf("chaos replay reported no retries:\n%s", chaos.out.String())
+	}
+	chaos.stop(t)
+
+	a, err := os.ReadFile(cleanSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(chaosSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("chaos checkpoint (%d bytes) differs from clean checkpoint (%d bytes)", len(b), len(a))
+	}
+}
+
+// waitForReplay blocks until the daemon reports its self-replay stats.
+func waitForReplay(t *testing.T, d *daemon) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(d.out.String(), "replay tenant=") {
+		if time.Now().After(deadline) {
+			t.Fatalf("self-replay never reported:\nstdout: %s\nstderr: %s", d.out.String(), d.errb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonCrashRecoveryResumesAccurately is the crash-recovery
+// acceptance: feed half the corpus stream (sequenced), steal an interval
+// checkpoint mid-stream — the state a crash would leave behind, missing
+// everything after it — restart a fresh daemon from that stale
+// checkpoint, re-send the entire first half (the duplicates are dropped,
+// the lost tail re-applies), and score the second half live. Total
+// accuracy must match offline evalx.EvaluateStream hit for hit, proving
+// the crash lost nothing and the re-delivery double-counted nothing.
+func TestDaemonCrashRecoveryResumesAccurately(t *testing.T) {
+	tr, err := trace.Load(corpusBT4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := workloads.ReplayReceiver(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	senders := tr.SenderStreamShared(receiver, trace.Physical)
+	sizes := tr.SizeStreamShared(receiver, trace.Physical)
+	offline := evalx.EvaluateStream(senders, nil, 5)
+	tenant := serve.DefaultTenant(tr)
+	stream := serve.StreamName(receiver, trace.Physical)
+	half := len(senders) / 2
+
+	dir := t.TempDir()
+	liveSnap := filepath.Join(dir, "live.mps")
+	crashSnap := filepath.Join(dir, "crash.mps")
+
+	score := func(d *daemon, hits []int, i int) {
+		t.Helper()
+		pr, found := predict(t, d.url(), tenant, stream, 5)
+		for k := 1; k <= 5; k++ {
+			idx := i + k - 1
+			if idx >= len(senders) {
+				continue
+			}
+			if found && pr.Forecasts[k-1].SenderOK && pr.Forecasts[k-1].Sender == senders[idx] {
+				hits[k-1]++
+			}
+		}
+	}
+
+	// Phase 1: live daemon with aggressive interval checkpoints; score and
+	// feed the first half, sequenced.
+	d := startDaemon(t, "-snapshot", liveSnap, "-snapshot-interval", "10ms")
+	hits := make([]int, 5)
+	for i := 0; i < half; i++ {
+		score(d, hits, i)
+		observeSeqOne(t, d.url(), tenant, stream, int64(i+1), senders[i], sizes[i])
+	}
+	// Steal a mid-stream interval checkpoint: whatever prefix it holds is
+	// the state a crash right now would leave behind. (SaveSnapshotFile
+	// replaces atomically, so the copy is always a consistent file.)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(liveSnap); err == nil {
+			if sessions, err := serve.LoadSnapshotFile(liveSnap); err == nil && len(sessions) == 1 {
+				if err := os.WriteFile(crashSnap, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no usable interval checkpoint appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The "crash": daemon A's subsequent state — including its clean final
+	// checkpoint — is discarded; daemon B starts from the stolen copy.
+	d.stop(t)
+
+	d2 := startDaemon(t, "-snapshot", crashSnap)
+	restored, found := predict(t, d2.url(), tenant, stream, 1)
+	if !found {
+		t.Fatal("session did not survive the crash-restart")
+	}
+	if restored.Observed > int64(half) {
+		t.Fatalf("restored checkpoint claims %d events, more than the %d ever sent", restored.Observed, half)
+	}
+	// Recovery: re-send the whole first half with the original sequence
+	// numbers. Batches the checkpoint remembers are dropped as duplicates;
+	// the tail it lost re-applies exactly once.
+	for i := 0; i < half; i++ {
+		observeSeqOne(t, d2.url(), tenant, stream, int64(i+1), senders[i], sizes[i])
+	}
+	after, _ := predict(t, d2.url(), tenant, stream, 1)
+	if after.Observed != int64(half) {
+		t.Fatalf("after recovery the session holds %d events, want exactly %d (no loss, no double-count)", after.Observed, half)
+	}
+	// Phase 2: resume the scored protocol for the second half.
+	for i := half; i < len(senders); i++ {
+		score(d2, hits, i)
+		observeSeqOne(t, d2.url(), tenant, stream, int64(i+1), senders[i], sizes[i])
+	}
+	d2.stop(t)
+
+	for k := 0; k < 5; k++ {
+		if hits[k] != offline.Hits[k] {
+			t.Errorf("horizon +%d: crash-recovery run scored %d hits, offline evalx %d", k+1, hits[k], offline.Hits[k])
+		}
+	}
+}
+
+// TestDaemonDrainsOnSIGTERM pins the drain sequence: the daemon
+// announces the drain, finishes up, writes its final checkpoint and says
+// so before exiting.
+func TestDaemonDrainsOnSIGTERM(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "state.mps")
+	d := startDaemon(t, "-snapshot", snap)
+	observeOne(t, d.url(), "t", "s", 1, 2)
+	d.stop(t)
+	out := d.out.String()
+	for _, want := range []string{"draining", "checkpointed 1 sessions", "drained, exiting"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("drain output misses %q:\n%s", want, out)
+		}
+	}
+	if sessions, err := serve.LoadSnapshotFile(snap); err != nil || len(sessions) != 1 {
+		t.Fatalf("final checkpoint unusable: %d sessions, err %v", len(sessions), err)
+	}
+}
+
+// TestDaemonReadyzLifecycle pins the split health endpoints on a live
+// daemon: /healthz and /readyz both answer 200 while serving.
+func TestDaemonReadyzLifecycle(t *testing.T) {
+	d := startDaemon(t)
+	defer d.stop(t)
+	for _, p := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(d.url() + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s returned %s", p, resp.Status)
+		}
+	}
+}
+
+func TestDaemonChaosFlagValidation(t *testing.T) {
+	err := run([]string{"-chaos", "frobnicate=1"}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown chaos key") {
+		t.Fatalf("bad chaos spec: got %v", err)
+	}
+	err = run([]string{"-replay", corpusBT4, "-target", "http://x", "-chaos", "err=0.5"}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "ignored with -target") {
+		t.Fatalf("chaos with -target: got %v", err)
+	}
+	err = run([]string{"-drain-timeout", "0s"}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "-drain-timeout must be positive") {
+		t.Fatalf("zero drain timeout: got %v", err)
+	}
+}
+
 func TestDaemonPredictorFlagValidation(t *testing.T) {
 	err := run([]string{"-predictor", "nope"}, &bytes.Buffer{}, &bytes.Buffer{}, nil)
 	if err == nil || !strings.Contains(err.Error(), "unknown -predictor") {

@@ -59,6 +59,33 @@ func TestRegistryObserveBatchZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestRegistryObserveBatchSeqZeroAllocs pins the idempotent ingest path:
+// the duplicate check is one integer compare under the shard lock, so
+// sequenced batches — applied or dropped as duplicates — must stay
+// allocation-free like the unsequenced path.
+func TestRegistryObserveBatchSeqZeroAllocs(t *testing.T) {
+	r := NewRegistry(Config{})
+	feedPeriodic(r, "tenant", "stream", 6, 4*core.DefaultConfig().WindowSize)
+	batch := make([]Event, 64)
+	for i := range batch {
+		batch[i] = Event{Sender: int64(i % 6), Size: int64(100 * (i % 6))}
+	}
+	seq := int64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		seq++
+		if _, _, err := r.ObserveBatchSeq("tenant", "stream", "", seq, batch); err != nil {
+			t.Fatal(err)
+		}
+		// Duplicate delivery of the same seq: dropped without observing.
+		if _, dup, err := r.ObserveBatchSeq("tenant", "stream", "", seq, batch); err != nil || !dup {
+			t.Fatalf("dup=%v err=%v", dup, err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Registry.ObserveBatchSeq allocates %.2f objects per batch pair, want 0", allocs)
+	}
+}
+
 // TestRegistryForecastIntoZeroAllocs pins the query path's buffer-reuse
 // contract, mirroring core's PredictSeriesInto test.
 func TestRegistryForecastIntoZeroAllocs(t *testing.T) {

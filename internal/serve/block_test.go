@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -157,7 +158,7 @@ func TestReplaySourceMatchesReplay(t *testing.T) {
 	}
 
 	wantSnaps, wantStats := run(func(u string) (ReplayStats, error) {
-		return Replay(u, tr, ReplayOptions{})
+		return Replay(context.Background(), u, tr, ReplayOptions{})
 	})
 	gotSnaps, gotStats := run(func(u string) (ReplayStats, error) {
 		src, err := stream.OpenFile(path)
@@ -165,7 +166,7 @@ func TestReplaySourceMatchesReplay(t *testing.T) {
 			return ReplayStats{}, err
 		}
 		defer src.Close()
-		return ReplaySource(u, src, ReplayOptions{})
+		return ReplaySource(context.Background(), u, src, ReplayOptions{})
 	})
 
 	if !reflect.DeepEqual(gotSnaps, wantSnaps) {
@@ -187,10 +188,10 @@ func TestReplaySourceRequiresTenantWithoutMetadata(t *testing.T) {
 	cfg := trace.SynthConfig{App: "synth", Procs: 2, Receiver: 0,
 		Pattern: []trace.SynthMessage{{Sender: 1, Size: 8}}, Repetitions: 10}
 	bare := metaStripper{stream.SynthSource(cfg)}
-	if _, err := ReplaySource(srv.URL, bare, ReplayOptions{}); err == nil || !strings.Contains(err.Error(), "Tenant") {
+	if _, err := ReplaySource(context.Background(), srv.URL, bare, ReplayOptions{}); err == nil || !strings.Contains(err.Error(), "Tenant") {
 		t.Errorf("metadata-less replay without tenant: err = %v", err)
 	}
-	if _, err := ReplaySource(srv.URL, metaStripper{stream.SynthSource(cfg)}, ReplayOptions{Tenant: "x"}); err != nil {
+	if _, err := ReplaySource(context.Background(), srv.URL, metaStripper{stream.SynthSource(cfg)}, ReplayOptions{Tenant: "x"}); err != nil {
 		t.Errorf("explicit tenant rejected: %v", err)
 	}
 	if reg.Len() != 2 {

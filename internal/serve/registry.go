@@ -109,10 +109,13 @@ type Forecast struct {
 // and detected period; strategies without that notion report "n/a" and
 // omit the period.
 type SessionInfo struct {
-	Tenant       string `json:"tenant"`
-	Stream       string `json:"stream"`
-	Strategy     string `json:"strategy"`
-	Observed     int64  `json:"observed"`
+	Tenant   string `json:"tenant"`
+	Stream   string `json:"stream"`
+	Strategy string `json:"strategy"`
+	Observed int64  `json:"observed"`
+	// LastSeq is the highest applied batch sequence number (0 when the
+	// session has never been fed sequenced batches).
+	LastSeq      int64  `json:"last_seq,omitempty"`
 	SenderState  string `json:"sender_state"`
 	SenderPeriod int    `json:"sender_period,omitempty"`
 	SizeState    string `json:"size_state"`
@@ -136,6 +139,7 @@ type Stats struct {
 	Events        int64 // observed events
 	Forecasts     int64 // answered forecast queries
 	MissedLookups int64 // forecast/info queries for unknown sessions
+	DupBatches    int64 // sequenced batches dropped as duplicate deliveries
 }
 
 type sessionKey struct {
@@ -154,6 +158,14 @@ type session struct {
 	sender   strategy.Strategy
 	size     strategy.Strategy
 	observed int64
+	// lastSeq is the highest batch sequence number applied to this
+	// session (0 when the session has never seen a sequenced batch). A
+	// batch carrying a seq at or below it is a duplicate delivery — a
+	// client retry of a request whose response was lost — and is dropped
+	// without observing, which turns at-least-once retries into
+	// effectively-once learning. It persists in snapshots, so dedup
+	// survives a crash-restart.
+	lastSeq  int64
 	created  time.Time
 	lastSeen time.Time
 	elem     *list.Element
@@ -179,6 +191,7 @@ type Registry struct {
 	events      atomic.Int64
 	forecasts   atomic.Int64
 	missed      atomic.Int64
+	dupBatches  atomic.Int64
 }
 
 // NewRegistry returns an empty registry. The shard array is fixed at
@@ -335,26 +348,49 @@ func (r *Registry) ObserveBatch(tenant, stream string, events []Event) int64 {
 // applies the name and mismatch validation, so a caller probing with zero
 // events learns the same verdict a real batch would get.
 func (r *Registry) ObserveBatchAs(tenant, stream, strat string, events []Event) (int64, error) {
+	total, _, err := r.ObserveBatchSeq(tenant, stream, strat, 0, events)
+	return total, err
+}
+
+// ObserveBatchSeq is ObserveBatchAs with an at-least-once delivery guard:
+// a positive seq marks the batch as one delivery of a per-(tenant,
+// stream) monotonically increasing sequence, and a batch whose seq is at
+// or below the session's last applied one is dropped as a duplicate
+// (duplicate true, no events observed, current total returned). Seq zero
+// disables the check — the batch always applies and the session's
+// sequence state is untouched, so unsequenced and sequenced clients can
+// share a registry (though not meaningfully a session).
+func (r *Registry) ObserveBatchSeq(tenant, stream, strat string, seq int64, events []Event) (total int64, duplicate bool, err error) {
 	if len(events) == 0 {
-		return r.probeSession(tenant, stream, strat)
+		total, err = r.probeSession(tenant, stream, strat)
+		return total, false, err
 	}
 	sh := r.shardFor(tenant, stream)
 	sh.mu.Lock()
 	s, err := r.getLocked(sh, tenant, stream, strat)
 	if err != nil {
 		sh.mu.Unlock()
-		return 0, err
+		return 0, false, err
+	}
+	if seq > 0 && seq <= s.lastSeq {
+		total = s.observed
+		sh.mu.Unlock()
+		r.dupBatches.Add(1)
+		return total, true, nil
 	}
 	for _, ev := range events {
 		s.sender.Observe(ev.Sender)
 		s.size.Observe(ev.Size)
 	}
 	s.observed += int64(len(events))
+	if seq > 0 {
+		s.lastSeq = seq
+	}
 	s.lastSeen = r.cfg.Clock()
-	total := s.observed
+	total = s.observed
 	sh.mu.Unlock()
 	r.events.Add(int64(len(events)))
-	return total, nil
+	return total, false, nil
 }
 
 // ObserveBlock feeds a column pair — parallel sender and size arrays, the
@@ -373,29 +409,49 @@ func (r *Registry) ObserveBlock(tenant, stream string, senders, sizes []int64) (
 // empty ObserveBatchAs: no session is created, but the name and mismatch
 // validation still applies.
 func (r *Registry) ObserveBlockAs(tenant, stream, strat string, senders, sizes []int64) (int64, error) {
+	total, _, err := r.ObserveBlockSeq(tenant, stream, strat, 0, senders, sizes)
+	return total, err
+}
+
+// ObserveBlockSeq is ObserveBlockAs with the at-least-once delivery guard
+// of ObserveBatchSeq: a positive seq at or below the session's last
+// applied one drops the whole block as a duplicate delivery. It remains
+// the zero-allocation block fast path — the sequence check is one compare
+// under the shard lock (pinned by alloc_test.go).
+func (r *Registry) ObserveBlockSeq(tenant, stream, strat string, seq int64, senders, sizes []int64) (total int64, duplicate bool, err error) {
 	if len(senders) != len(sizes) {
-		return 0, fmt.Errorf("serve: observe block columns disagree: %d senders, %d sizes", len(senders), len(sizes))
+		return 0, false, fmt.Errorf("serve: observe block columns disagree: %d senders, %d sizes", len(senders), len(sizes))
 	}
 	if len(senders) == 0 {
-		return r.probeSession(tenant, stream, strat)
+		total, err = r.probeSession(tenant, stream, strat)
+		return total, false, err
 	}
 	sh := r.shardFor(tenant, stream)
 	sh.mu.Lock()
 	s, err := r.getLocked(sh, tenant, stream, strat)
 	if err != nil {
 		sh.mu.Unlock()
-		return 0, err
+		return 0, false, err
+	}
+	if seq > 0 && seq <= s.lastSeq {
+		total = s.observed
+		sh.mu.Unlock()
+		r.dupBatches.Add(1)
+		return total, true, nil
 	}
 	for i := range senders {
 		s.sender.Observe(senders[i])
 		s.size.Observe(sizes[i])
 	}
 	s.observed += int64(len(senders))
+	if seq > 0 {
+		s.lastSeq = seq
+	}
 	s.lastSeen = r.cfg.Clock()
-	total := s.observed
+	total = s.observed
 	sh.mu.Unlock()
 	r.events.Add(int64(len(senders)))
-	return total, nil
+	return total, false, nil
 }
 
 // probeSession applies the strategy name and mismatch validation of an
@@ -473,6 +529,7 @@ func (r *Registry) infoLocked(s *session) SessionInfo {
 		Stream:       s.key.stream,
 		Strategy:     s.strategy,
 		Observed:     s.observed,
+		LastSeq:      s.lastSeq,
 		SenderState:  strategyState(s.sender),
 		SizeState:    strategyState(s.size),
 		CreatedUnix:  s.created.Unix(),
@@ -579,6 +636,7 @@ func (r *Registry) Stats() Stats {
 		Events:        r.events.Load(),
 		Forecasts:     r.forecasts.Load(),
 		MissedLookups: r.missed.Load(),
+		DupBatches:    r.dupBatches.Load(),
 	}
 }
 
@@ -597,6 +655,7 @@ func (r *Registry) SnapshotSessions() []SessionSnapshot {
 				Stream:   s.key.stream,
 				Strategy: s.strategy,
 				Observed: s.observed,
+				LastSeq:  s.lastSeq,
 				Sender:   s.sender.Snapshot(),
 				Size:     s.size.Snapshot(),
 			})
@@ -637,6 +696,7 @@ func (r *Registry) RestoreSessions(snaps []SessionSnapshot) error {
 			sender:   sender,
 			size:     size,
 			observed: snap.Observed,
+			lastSeq:  snap.LastSeq,
 		})
 	}
 	now := r.cfg.Clock()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -123,6 +124,72 @@ func TestRegistryObserveBatchEquivalentToSingles(t *testing.T) {
 		if fa[i] != fb[i] {
 			t.Fatalf("forecast %d differs: single %+v vs batch %+v", i, fa[i], fb[i])
 		}
+	}
+}
+
+// TestRegistryObserveBatchSeqDropsDuplicates pins the idempotency
+// contract the reliable replay client depends on: replaying the same
+// sequenced batch twice applies it exactly once, so a retry of a request
+// whose response was lost cannot double-count events.
+func TestRegistryObserveBatchSeqDropsDuplicates(t *testing.T) {
+	r := NewRegistry(Config{})
+	clean := NewRegistry(Config{})
+	batch := []Event{{Sender: 1, Size: 10}, {Sender: 2, Size: 20}, {Sender: 3, Size: 30}}
+
+	total, dup, err := r.ObserveBatchSeq("t", "s", "", 1, batch)
+	if err != nil || dup || total != 3 {
+		t.Fatalf("first delivery: total=%d dup=%v err=%v", total, dup, err)
+	}
+	// Second delivery of the same batch: dropped, total unchanged.
+	total, dup, err = r.ObserveBatchSeq("t", "s", "", 1, batch)
+	if err != nil || !dup || total != 3 {
+		t.Fatalf("duplicate delivery: total=%d dup=%v err=%v", total, dup, err)
+	}
+	// Stale seq below the watermark is a duplicate too.
+	if _, dup, _ = r.ObserveBatchSeq("t", "s", "", 0x0, batch[:1]); dup {
+		t.Fatal("unsequenced batch (seq 0) was treated as a duplicate")
+	}
+	clean.ObserveBatch("t", "s", batch)
+	clean.ObserveBatch("t", "s", batch[:1])
+	fa, _, _ := r.ForecastInto(nil, "t", "s", 4)
+	fb, _, _ := clean.ForecastInto(nil, "t", "s", 4)
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("duplicate-dropped registry diverged from effectively-once delivery:\n got %+v\nwant %+v", fa, fb)
+	}
+	if got := r.Stats().DupBatches; got != 1 {
+		t.Fatalf("DupBatches = %d, want 1", got)
+	}
+	if info, ok := r.Info("t", "s"); !ok || info.LastSeq != 1 {
+		t.Fatalf("Info = %+v ok=%v, want LastSeq 1", info, ok)
+	}
+}
+
+// TestRegistryObserveBlockSeqDropsDuplicates covers the columnar twin of
+// the sequenced batch path.
+func TestRegistryObserveBlockSeqDropsDuplicates(t *testing.T) {
+	r := NewRegistry(Config{})
+	senders := []int64{1, 2, 3, 1}
+	sizes := []int64{10, 20, 30, 10}
+
+	total, dup, err := r.ObserveBlockSeq("t", "s", "", 5, senders, sizes)
+	if err != nil || dup || total != 4 {
+		t.Fatalf("first delivery: total=%d dup=%v err=%v", total, dup, err)
+	}
+	total, dup, err = r.ObserveBlockSeq("t", "s", "", 5, senders, sizes)
+	if err != nil || !dup || total != 4 {
+		t.Fatalf("duplicate delivery: total=%d dup=%v err=%v", total, dup, err)
+	}
+	// Out-of-order old seq: also dropped.
+	if _, dup, _ = r.ObserveBlockSeq("t", "s", "", 3, senders, sizes); !dup {
+		t.Fatal("stale seq 3 below watermark 5 was applied")
+	}
+	// The next monotonic seq is applied.
+	total, dup, err = r.ObserveBlockSeq("t", "s", "", 6, senders[:1], sizes[:1])
+	if err != nil || dup || total != 5 {
+		t.Fatalf("next seq: total=%d dup=%v err=%v", total, dup, err)
+	}
+	if got := r.Stats().DupBatches; got != 2 {
+		t.Fatalf("DupBatches = %d, want 2", got)
 	}
 }
 

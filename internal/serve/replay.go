@@ -14,14 +14,26 @@ package serve
 // registry's ObserveBlock fast path. Memory is bounded by sessions ×
 // batch size — independent of the trace length — so a trace far larger
 // than RAM replays in one pass.
+//
+// Delivery is at-least-once made effectively-once: every batch carries a
+// per-session monotonic sequence number, and transient failures (429,
+// 5xx, transport errors) are retried with exponential backoff and
+// jitter. A retry of a request whose response was lost is acknowledged
+// by the server as a duplicate and not re-observed, so a replay through
+// a lossy network converges to exactly the state of a clean replay.
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"mpipredict/internal/stream"
@@ -40,6 +52,20 @@ func DefaultTenant(tr *trace.Trace) string {
 	return fmt.Sprintf("%s.%d", tr.App, tr.Procs)
 }
 
+// DefaultMaxRetries is the per-batch retry budget when
+// ReplayOptions.MaxRetries is zero. With the default backoff schedule it
+// spans several seconds of sustained failure before giving up.
+const DefaultMaxRetries = 8
+
+// DefaultRetryBase is the first retry delay when ReplayOptions.RetryBase
+// is zero; each subsequent attempt doubles it (with jitter), capped at
+// maxRetryBackoff.
+const DefaultRetryBase = 25 * time.Millisecond
+
+// maxRetryBackoff caps the exponential growth so a long outage polls
+// about once a second instead of sleeping for minutes.
+const maxRetryBackoff = time.Second
+
 // ReplayOptions control a trace replay.
 type ReplayOptions struct {
 	// Tenant overrides the session tenant (default: "<app>.<procs>" from
@@ -47,17 +73,27 @@ type ReplayOptions struct {
 	Tenant string
 	// BatchSize is the number of events per observe request (default 64).
 	BatchSize int
-	// Client is the HTTP client to use (default http.DefaultClient).
+	// Client is the HTTP client to use. The default is a dedicated client
+	// with dial and request timeouts — not http.DefaultClient, which has
+	// none and would hang the replay forever on a stuck connection.
 	Client *http.Client
+	// MaxRetries bounds the retry attempts per batch after the first
+	// delivery fails with a retryable error (429, 5xx, transport).
+	// Default DefaultMaxRetries; negative disables retries.
+	MaxRetries int
+	// RetryBase is the initial backoff delay. Default DefaultRetryBase.
+	RetryBase time.Duration
 }
 
 // ReplayStats summarize one replay.
 type ReplayStats struct {
-	Tenant   string
-	Sessions int           // sessions fed (one per traced receiver and level)
-	Events   int64         // events observed
-	Requests int64         // observe requests issued
-	Duration time.Duration // wall-clock time of the whole replay
+	Tenant     string
+	Sessions   int           // sessions fed (one per traced receiver and level)
+	Events     int64         // events delivered (including duplicate-acked retries)
+	Requests   int64         // observe requests issued, retries included
+	Retries    int64         // re-deliveries after a retryable failure
+	Duplicates int64         // batches the server acked as already applied
+	Duration   time.Duration // wall-clock time of the whole replay
 }
 
 // EventsPerSec returns the observed ingest throughput.
@@ -70,13 +106,32 @@ func (s ReplayStats) EventsPerSec() float64 {
 
 // String renders the stats the way the daemon reports them.
 func (s ReplayStats) String() string {
-	return fmt.Sprintf("tenant=%s sessions=%d events=%d requests=%d duration=%s throughput=%.0f events/s",
-		s.Tenant, s.Sessions, s.Events, s.Requests, s.Duration.Round(time.Millisecond), s.EventsPerSec())
+	return fmt.Sprintf("tenant=%s sessions=%d events=%d requests=%d retries=%d duplicates=%d duration=%s throughput=%.0f events/s",
+		s.Tenant, s.Sessions, s.Events, s.Requests, s.Retries, s.Duplicates, s.Duration.Round(time.Millisecond), s.EventsPerSec())
+}
+
+// NewReplayClient returns the dedicated HTTP client replays default to:
+// bounded dial, header and whole-request times, so a wedged daemon fails
+// the replay instead of hanging it.
+func NewReplayClient() *http.Client {
+	return &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 10 * time.Second,
+			MaxIdleConnsPerHost:   4,
+			IdleConnTimeout:       time.Minute,
+		},
+	}
 }
 
 // sessionBatch is the per-(receiver, level) columnar accumulation buffer.
+// seq is the session's batch sequence counter: incremented once per
+// batch, resent unchanged on every retry of that batch, which is what
+// lets the server tell a retry from new data.
 type sessionBatch struct {
 	stream  string
+	seq     int64
 	senders []int64
 	sizes   []int64
 }
@@ -90,16 +145,20 @@ type replayKey struct {
 // Replay feeds every traced (receiver, level) stream of tr through the
 // observe API of the daemon at baseURL. It is a thin wrapper over
 // ReplaySource with an in-memory trace source.
-func Replay(baseURL string, tr *trace.Trace, opts ReplayOptions) (ReplayStats, error) {
-	return ReplaySource(baseURL, stream.TraceSource(tr), opts)
+func Replay(ctx context.Context, baseURL string, tr *trace.Trace, opts ReplayOptions) (ReplayStats, error) {
+	return ReplaySource(ctx, baseURL, stream.TraceSource(tr), opts)
 }
 
 // ReplaySource feeds every traced (receiver, level) stream of a block
 // source through the observe API of the daemon at baseURL. Events of one
 // session are sent in stream order (batched into columnar observe
 // requests), so the daemon's predictor state after the replay is exactly
-// what the offline harness computes for the same streams.
-func ReplaySource(baseURL string, src stream.Source, opts ReplayOptions) (ReplayStats, error) {
+// what the offline harness computes for the same streams. Cancelling ctx
+// aborts the replay between requests and during backoff sleeps.
+func ReplaySource(ctx context.Context, baseURL string, src stream.Source, opts ReplayOptions) (ReplayStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Tenant == "" {
 		md, ok := stream.MetaOf(src)
 		if !ok {
@@ -111,7 +170,13 @@ func ReplaySource(baseURL string, src stream.Source, opts ReplayOptions) (Replay
 		opts.BatchSize = 64
 	}
 	if opts.Client == nil {
-		opts.Client = http.DefaultClient
+		opts.Client = NewReplayClient()
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = DefaultMaxRetries
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = DefaultRetryBase
 	}
 	stats := ReplayStats{Tenant: opts.Tenant}
 	start := time.Now()
@@ -120,11 +185,11 @@ func ReplaySource(baseURL string, src stream.Source, opts ReplayOptions) (Replay
 		if len(b.senders) == 0 {
 			return nil
 		}
-		if err := postObserveColumns(opts.Client, baseURL, opts.Tenant, b.stream, b.senders, b.sizes); err != nil {
-			return fmt.Errorf("serve: replaying %s/%s: %w", opts.Tenant, b.stream, err)
+		b.seq++
+		if err := postBatchReliably(ctx, &stats, opts, baseURL, b); err != nil {
+			return fmt.Errorf("serve: replaying %s/%s batch %d: %w", opts.Tenant, b.stream, b.seq, err)
 		}
 		stats.Events += int64(len(b.senders))
-		stats.Requests++
 		b.senders = b.senders[:0]
 		b.sizes = b.sizes[:0]
 		return nil
@@ -132,6 +197,9 @@ func ReplaySource(baseURL string, src stream.Source, opts ReplayOptions) (Replay
 
 	var blk stream.EventBlock
 	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		err := src.Next(&blk)
 		if err == io.EOF {
 			break
@@ -181,23 +249,113 @@ func ReplaySource(baseURL string, src stream.Source, opts ReplayOptions) (Replay
 	return stats, nil
 }
 
-// postObserveColumns issues one columnar observe request and verifies it
-// was accepted.
-func postObserveColumns(client *http.Client, baseURL, tenant, stream string, senders, sizes []int64) error {
-	body, err := json.Marshal(observeRequest{Tenant: tenant, Stream: stream, Senders: senders, Sizes: sizes})
-	if err != nil {
-		return err
+// postBatchReliably delivers one sequenced batch at least once: it
+// retries retryable failures (429/5xx/transport errors) with capped
+// exponential backoff, full jitter and Retry-After honoring, until the
+// server acks — possibly as a duplicate, which counts as success.
+func postBatchReliably(ctx context.Context, stats *ReplayStats, opts ReplayOptions, baseURL string, b *sessionBatch) error {
+	for attempt := 0; ; attempt++ {
+		stats.Requests++
+		dup, retryAfter, err := postObserveColumns(ctx, opts.Client, baseURL, opts.Tenant, b)
+		if err == nil {
+			if dup {
+				stats.Duplicates++
+			}
+			return nil
+		}
+		if !isRetryable(err) {
+			return err
+		}
+		if attempt >= opts.MaxRetries {
+			return fmt.Errorf("giving up after %d attempts: %w", attempt+1, err)
+		}
+		stats.Retries++
+		if err := sleepBackoff(ctx, opts.RetryBase, attempt, retryAfter); err != nil {
+			return err
+		}
 	}
-	resp, err := client.Post(baseURL+"/v1/observe", "application/json", bytes.NewReader(body))
+}
+
+// retryableError marks a delivery failure worth retrying. Transport
+// errors are wrapped in it; HTTP statuses map through statusRetryable.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+func isRetryable(err error) bool {
+	var re *retryableError
+	return errors.As(err, &re)
+}
+
+// sleepBackoff waits base·2^attempt (capped, full-jittered, at least
+// retryAfter when the server named one) or until ctx is cancelled.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int, retryAfter time.Duration) error {
+	d := base << uint(attempt)
+	if d <= 0 || d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	// Full jitter: uniform in [d/2, d). Decorrelates the retry storms of
+	// many replay clients hammering one recovering server.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// observeReply is the subset of the observe response the replay needs.
+type observeReply struct {
+	Duplicate bool `json:"duplicate"`
+}
+
+// postObserveColumns issues one sequenced columnar observe request and
+// classifies the outcome: success (with the server's duplicate verdict),
+// a retryable failure (with any Retry-After hint), or a permanent error.
+func postObserveColumns(ctx context.Context, client *http.Client, baseURL, tenant string, b *sessionBatch) (duplicate bool, retryAfter time.Duration, err error) {
+	body, err := json.Marshal(observeRequest{Tenant: tenant, Stream: b.stream, Seq: b.seq, Senders: b.senders, Sizes: b.sizes})
 	if err != nil {
-		return err
+		return false, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/observe", bytes.NewReader(body))
+	if err != nil {
+		return false, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, 0, ctx.Err()
+		}
+		return false, 0, &retryableError{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("observe returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		statusErr := fmt.Errorf("observe returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+			return false, retryAfter, &retryableError{statusErr}
+		}
+		return false, 0, statusErr
+	}
+	var reply observeReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&reply); err != nil {
+		// A 200 whose body was lost in transit: the batch WAS applied, but
+		// the ack is unreadable. Retrying is safe — the seq makes the
+		// re-delivery a duplicate.
+		return false, 0, &retryableError{fmt.Errorf("reading observe ack: %w", err)}
 	}
 	// Drain so the client can reuse the connection.
 	io.Copy(io.Discard, resp.Body)
-	return nil
+	return reply.Duplicate, 0, nil
 }

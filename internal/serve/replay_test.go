@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net/http/httptest"
 	"reflect"
 	"testing"
@@ -26,7 +27,7 @@ func TestReplayFeedsEveryStream(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	stats, err := Replay(ts.URL, tr, ReplayOptions{BatchSize: 32})
+	stats, err := Replay(context.Background(), ts.URL, tr, ReplayOptions{BatchSize: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestReplayedSessionMatchesOfflinePredictorState(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	if _, err := Replay(ts.URL, tr, ReplayOptions{}); err != nil {
+	if _, err := Replay(context.Background(), ts.URL, tr, ReplayOptions{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -111,7 +112,9 @@ func TestReplayAgainstDeadServer(t *testing.T) {
 	tr := corpusTrace(t, "bt.4.mpt")
 	ts := httptest.NewServer(NewServer(NewRegistry(Config{})))
 	ts.Close() // dead before the replay starts
-	if _, err := Replay(ts.URL, tr, ReplayOptions{}); err == nil {
+	// Retries disabled: a permanently dead server would otherwise burn the
+	// whole backoff schedule before failing, for no extra coverage here.
+	if _, err := Replay(context.Background(), ts.URL, tr, ReplayOptions{MaxRetries: -1}); err == nil {
 		t.Fatal("replay against a closed server succeeded")
 	}
 }

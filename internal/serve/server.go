@@ -6,18 +6,28 @@ package serve
 //	GET  /v1/predict      ?tenant=&stream=&k=   (k defaults to 5, the paper's horizon)
 //	GET  /v1/sessions     list every live session
 //	GET  /healthz         liveness + session count
+//	GET  /readyz          readiness (503 while draining or before restore)
 //	GET  /debug/vars      expvar-style metrics (JSON)
 //
 // Observe is the hot path: request scratch (decoded events, forecast
 // buffers, response encoder) is pooled and reused, so a steady stream of
 // observe calls costs the JSON decode plus the registry's zero-allocation
 // observe — nothing per-request is rebuilt from scratch.
+//
+// Every request passes through a small resilience envelope (ServeHTTP):
+// a panic recovery that 500s the one failing request instead of killing
+// the daemon, a bounded in-flight gate that sheds load with 429 +
+// Retry-After instead of queueing unboundedly, and a per-request context
+// deadline so an abandoned request cannot pin resources forever. Health
+// endpoints bypass the gate — a load balancer probing an overloaded
+// server must still get an answer.
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -49,6 +59,39 @@ const MaxKeyLen = 256
 // validKey reports whether a tenant or stream name is acceptable.
 func validKey(s string) bool { return s != "" && len(s) <= MaxKeyLen }
 
+// DefaultMaxInFlight is the in-flight request bound when
+// ServerOptions.MaxInFlight is zero. Requests beyond it are rejected
+// with 429 + Retry-After rather than queued: the registry's shard locks
+// serialize the real work anyway, so admitting more requests only grows
+// memory and tail latency without adding throughput.
+const DefaultMaxInFlight = 256
+
+// DefaultRequestTimeout is the per-request context deadline when
+// ServerOptions.RequestTimeout is zero.
+const DefaultRequestTimeout = 10 * time.Second
+
+// ServerOptions tunes the resilience envelope around the handlers. The
+// zero value takes the defaults above; negative values disable the
+// corresponding protection (tests use that to exercise handlers bare).
+type ServerOptions struct {
+	// MaxInFlight bounds concurrently served requests (health endpoints
+	// are exempt). Default DefaultMaxInFlight; negative disables.
+	MaxInFlight int
+	// RequestTimeout is the context deadline attached to each request.
+	// Default DefaultRequestTimeout; negative disables.
+	RequestTimeout time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = DefaultMaxInFlight
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	return o
+}
+
 // Server wraps a Registry in an http.Handler.
 type Server struct {
 	reg   *Registry
@@ -56,6 +99,20 @@ type Server struct {
 	vars  *expvar.Map
 	pool  sync.Pool
 	start time.Time
+	opts  ServerOptions
+
+	// inflight is the admission semaphore (nil when disabled): a request
+	// enters by sending, leaves by receiving. Non-blocking send makes the
+	// gate load-shedding, not queueing.
+	inflight chan struct{}
+	// notReady and draining drive /readyz. Both are "fail readiness"
+	// flags so the zero value is ready — a freshly constructed server
+	// answers probes until the daemon says otherwise.
+	notReady atomic.Bool
+	draining atomic.Bool
+
+	recoveredPanics  atomic.Int64
+	rejectedOverload atomic.Int64
 }
 
 // observeRequest is the POST /v1/observe body. Predictor optionally names
@@ -69,10 +126,17 @@ type Server struct {
 // and "sizes" as parallel arrays). The columnar form is what the block
 // pipeline emits (stream.EventBlock is columnar end to end) and lands on
 // the registry's ObserveBlock fast path; the replay ingester uses it.
+// Seq optionally carries a per-(tenant, stream) monotonic batch
+// sequence number. When positive, the registry applies the batch at
+// most once: a seq at or below the session's high-water mark is
+// acknowledged (with "duplicate":true) but not observed, which lets
+// clients retry lost responses without double-counting events. Zero
+// means unsequenced — always applied.
 type observeRequest struct {
 	Tenant    string  `json:"tenant"`
 	Stream    string  `json:"stream"`
 	Predictor string  `json:"predictor,omitempty"`
+	Seq       int64   `json:"seq,omitempty"`
 	Events    []Event `json:"events,omitempty"`
 	Senders   []int64 `json:"senders,omitempty"`
 	Sizes     []int64 `json:"sizes,omitempty"`
@@ -87,15 +151,25 @@ type scratch struct {
 	forecasts []Forecast
 }
 
-// NewServer returns a Server for the registry. The metrics map is owned
-// by the server (not published to the process-global expvar namespace),
-// so independent servers — and tests — never collide on variable names.
+// NewServer returns a Server for the registry with default resilience
+// options. The metrics map is owned by the server (not published to the
+// process-global expvar namespace), so independent servers — and tests —
+// never collide on variable names.
 func NewServer(reg *Registry) *Server {
+	return NewServerWith(reg, ServerOptions{})
+}
+
+// NewServerWith returns a Server with explicit resilience options.
+func NewServerWith(reg *Registry, opts ServerOptions) *Server {
 	s := &Server{
 		reg:   reg,
 		mux:   http.NewServeMux(),
 		vars:  new(expvar.Map).Init(),
 		start: time.Now(),
+		opts:  opts.withDefaults(),
+	}
+	if s.opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, s.opts.MaxInFlight)
 	}
 	s.pool.New = func() interface{} {
 		return &scratch{forecasts: make([]Forecast, 0, MaxHorizon)}
@@ -115,6 +189,9 @@ func NewServer(reg *Registry) *Server {
 	s.vars.Set("observed_events", counter(&reg.events))
 	s.vars.Set("forecast_queries", counter(&reg.forecasts))
 	s.vars.Set("missed_lookups", counter(&reg.missed))
+	s.vars.Set("duplicate_batches", counter(&reg.dupBatches))
+	s.vars.Set("recovered_panics", counter(&s.recoveredPanics))
+	s.vars.Set("rejected_overload", counter(&s.rejectedOverload))
 	s.vars.Set("uptime_seconds", expvar.Func(func() interface{} {
 		return time.Since(s.start).Seconds()
 	}))
@@ -122,12 +199,34 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/sessions", s.handleSessions)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
 	return s
 }
 
 // Registry returns the registry the server fronts.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Handle registers an extra route on the server's mux, inside the
+// resilience envelope (panic recovery, in-flight gate, deadline). The
+// daemon uses it for process-level endpoints; tests use it to exercise
+// the envelope with handlers the server itself would never ship.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
+
+// SetReady marks the server ready (or not) to take traffic. A server
+// starts ready; a daemon restoring a large snapshot flips it false
+// before listening and true once restore completes, so load balancers
+// do not route to a half-restored instance.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// SetDraining marks the server as shutting down: /readyz starts failing
+// so load balancers stop routing new work, while in-flight and
+// straggler requests still complete normally. Draining is one-way; a
+// draining server is expected to exit.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// Draining reports whether SetDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // PublishVar adds a computed metric to the server's /debug/vars map under
 // the given name, evaluated on every scrape. The daemon uses it to surface
@@ -137,10 +236,46 @@ func (s *Server) PublishVar(name string, fn func() interface{}) {
 	s.vars.Set(name, expvar.Func(fn))
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: the resilience envelope around the
+// mux. Order matters — recovery is outermost so a panic anywhere inside
+// (including the gate) turns into a 500, and the gate runs before the
+// deadline so shed requests cost no timer.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				// Deliberate connection abort (e.g. chaos middleware);
+				// net/http suppresses the stack trace for this sentinel.
+				panic(v)
+			}
+			s.recoveredPanics.Add(1)
+			// Best effort: if the handler already wrote a header this
+			// appends to a half-sent reply, which the client will reject.
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	if s.inflight != nil && !isHealthPath(r.URL.Path) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.rejectedOverload.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity (%d requests in flight)", s.opts.MaxInFlight)
+			return
+		}
+	}
+	if s.opts.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	s.mux.ServeHTTP(w, r)
 }
+
+// isHealthPath exempts probe endpoints from the in-flight gate: a load
+// balancer must be able to see an overloaded-but-alive server.
+func isHealthPath(p string) bool { return p == "/healthz" || p == "/readyz" }
 
 // writeError emits a JSON error body with the given status. The message
 // is encoded with encoding/json, not %q: Go's quoting emits \xNN escapes
@@ -166,6 +301,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	sc.req.Tenant = ""
 	sc.req.Stream = ""
 	sc.req.Predictor = ""
+	sc.req.Seq = 0
 	// Zero the whole backing array, not just the length: the decoder
 	// reuses pooled elements in place and only assigns the JSON keys
 	// actually present, so an event omitting "sender" or "size" would
@@ -176,8 +312,23 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	sc.req.Senders = sc.req.Senders[:0]
 	sc.req.Sizes = sc.req.Sizes[:0]
 
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxObserveBody))
+	// MaxBytesReader (unlike a bare LimitReader) closes the connection
+	// on overrun and lets the overflow be told apart from malformed
+	// JSON, so oversized bodies get the honest 413.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObserveBody))
 	if err := dec.Decode(&sc.req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "observe body exceeds %d bytes", maxObserveBody)
+			return
+		}
+		if ctxErr := r.Context().Err(); ctxErr != nil {
+			// The body read outlived the request deadline (or the client
+			// went away); the status is best-effort — a disconnected
+			// client never sees it.
+			writeError(w, http.StatusServiceUnavailable, "request deadline exceeded reading body: %v", ctxErr)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding observe request: %v", err)
 		return
 	}
@@ -206,12 +357,17 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown predictor %q (known: %v)", sc.req.Predictor, strategy.Names())
 		return
 	}
+	if sc.req.Seq < 0 {
+		writeError(w, http.StatusBadRequest, "seq must be non-negative")
+		return
+	}
 	var total int64
+	var duplicate bool
 	var err error
 	if columnar {
-		total, err = s.reg.ObserveBlockAs(sc.req.Tenant, sc.req.Stream, sc.req.Predictor, sc.req.Senders, sc.req.Sizes)
+		total, duplicate, err = s.reg.ObserveBlockSeq(sc.req.Tenant, sc.req.Stream, sc.req.Predictor, sc.req.Seq, sc.req.Senders, sc.req.Sizes)
 	} else {
-		total, err = s.reg.ObserveBatchAs(sc.req.Tenant, sc.req.Stream, sc.req.Predictor, sc.req.Events)
+		total, duplicate, err = s.reg.ObserveBatchSeq(sc.req.Tenant, sc.req.Stream, sc.req.Predictor, sc.req.Seq, sc.req.Events)
 	}
 	if err != nil {
 		// The name and column lengths were validated above, so the only
@@ -219,8 +375,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
+	if duplicate {
+		// The batch was already applied by an earlier delivery; this is a
+		// positive ack of that fact, not an error — the retrying client
+		// treats it exactly like a success.
+		n = 0
+	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"observed\":%d,\"session_observed\":%d}\n", n, total)
+	fmt.Fprintf(w, "{\"observed\":%d,\"session_observed\":%d,\"duplicate\":%t}\n", n, total, duplicate)
 }
 
 // predictResponse is the GET /v1/predict body.
@@ -283,10 +445,31 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	}{sessions})
 }
 
+// handleHealthz is pure liveness: it answers ok for as long as the
+// process can serve HTTP at all, even while draining — a live-but-
+// draining server must not be restarted by an orchestrator.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"status\":\"ok\",\"sessions\":%d,\"uptime_s\":%.1f}\n",
 		s.reg.Len(), time.Since(s.start).Seconds())
+}
+
+// handleReadyz is readiness: whether a load balancer should route new
+// traffic here. It fails before a snapshot restore completes (SetReady)
+// and from the moment a drain starts (SetDraining), so routing stops
+// before the listener does.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+	case s.notReady.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	default:
+		fmt.Fprintln(w, `{"status":"ready"}`)
+	}
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {

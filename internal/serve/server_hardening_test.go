@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerRecoversPanickingHandler pins the daemon-survival contract:
+// a handler panic turns into a 500 for that one request, is counted on
+// /debug/vars, and leaves the server fully able to serve the next
+// request.
+func TestServerRecoversPanickingHandler(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Handle("/boom", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}))
+
+	resp, out := get(t, ts.URL+"/boom")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %s, want 500", resp.Status)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(out), &e); err != nil || e.Error == "" {
+		t.Fatalf("panic response is not a JSON error body: %v %q", err, out)
+	}
+
+	// The server is still alive and serving.
+	resp, _ = postJSON(t, ts.URL+"/v1/observe", `{"tenant":"t","stream":"s","events":[{"sender":1,"size":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe after panic returned %s", resp.Status)
+	}
+	_, body := get(t, ts.URL+"/debug/vars")
+	var vars map[string]float64
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["recovered_panics"] != 1 {
+		t.Fatalf("recovered_panics = %v, want 1", vars["recovered_panics"])
+	}
+}
+
+// TestServerPanicRecoveryPreservesAbort pins the carve-out: a handler
+// that panics with http.ErrAbortHandler (the deliberate connection-kill
+// sentinel the chaos middleware uses) must not be converted into a 500.
+func TestServerPanicRecoveryPreservesAbort(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Handle("/abort", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	if _, err := http.Get(ts.URL + "/abort"); err == nil {
+		t.Fatal("aborted handler produced a clean response")
+	}
+	_, body := get(t, ts.URL+"/debug/vars")
+	var vars map[string]float64
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["recovered_panics"] != 0 {
+		t.Fatalf("recovered_panics = %v, want 0 (abort is not a bug)", vars["recovered_panics"])
+	}
+}
+
+// TestServerInFlightGate pins load shedding: with a capacity-1 gate and
+// one request parked inside, a second request is rejected with 429 +
+// Retry-After while health probes still answer.
+func TestServerInFlightGate(t *testing.T) {
+	srv := NewServerWith(NewRegistry(Config{}), ServerOptions{MaxInFlight: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv.Handle("/slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	resp, _ := get(t, ts.URL+"/v1/sessions")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request over capacity returned %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response carries no Retry-After")
+	}
+	// Probes bypass the gate.
+	for _, p := range []string{"/healthz", "/readyz"} {
+		if resp, _ := get(t, ts.URL+p); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s returned %s under full load, want 200", p, resp.Status)
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	// The slot was returned: normal traffic flows again.
+	resp, _ = postJSON(t, ts.URL+"/v1/observe", `{"tenant":"t","stream":"s","events":[{"sender":1,"size":2}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe after load returned %s", resp.Status)
+	}
+	_, body := get(t, ts.URL+"/debug/vars")
+	var vars map[string]float64
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["rejected_overload"] != 1 {
+		t.Fatalf("rejected_overload = %v, want 1", vars["rejected_overload"])
+	}
+}
+
+// TestServerReadiness walks /readyz through the lifecycle: ready on
+// construction, failing while marked not-ready (snapshot restore), ready
+// again, then failing for good once draining — while /healthz stays 200
+// throughout (liveness is not readiness).
+func TestServerReadiness(t *testing.T) {
+	srv, ts := newTestServer(t)
+	expect := func(status int, substr string) {
+		t.Helper()
+		resp, out := get(t, ts.URL+"/readyz")
+		if resp.StatusCode != status || !strings.Contains(out, substr) {
+			t.Fatalf("readyz = %s %q, want %d containing %q", resp.Status, out, status, substr)
+		}
+		if live, _ := get(t, ts.URL+"/healthz"); live.StatusCode != http.StatusOK {
+			t.Fatalf("healthz = %s, want 200 regardless of readiness", live.Status)
+		}
+	}
+	expect(http.StatusOK, "ready")
+	srv.SetReady(false)
+	expect(http.StatusServiceUnavailable, "starting")
+	srv.SetReady(true)
+	expect(http.StatusOK, "ready")
+	srv.SetDraining()
+	if !srv.Draining() {
+		t.Fatal("Draining() is false after SetDraining")
+	}
+	expect(http.StatusServiceUnavailable, "draining")
+}
+
+// TestServerObserveSeqDuplicate pins the HTTP face of idempotent
+// ingest: re-delivering a sequenced batch acks with "duplicate":true and
+// zero newly observed events, for both event shapes.
+func TestServerObserveSeqDuplicate(t *testing.T) {
+	type observeResponse struct {
+		Observed        int64 `json:"observed"`
+		SessionObserved int64 `json:"session_observed"`
+		Duplicate       bool  `json:"duplicate"`
+	}
+	post := func(t *testing.T, ts *httptest.Server, body string) observeResponse {
+		t.Helper()
+		resp, out := postJSON(t, ts.URL+"/v1/observe", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe returned %s: %s", resp.Status, out)
+		}
+		var or observeResponse
+		if err := json.Unmarshal([]byte(out), &or); err != nil {
+			t.Fatalf("decoding %q: %v", out, err)
+		}
+		return or
+	}
+
+	t.Run("object form", func(t *testing.T) {
+		_, ts := newTestServer(t)
+		body := `{"tenant":"t","stream":"s","seq":1,"events":[{"sender":1,"size":2},{"sender":2,"size":4}]}`
+		if or := post(t, ts, body); or.Duplicate || or.Observed != 2 || or.SessionObserved != 2 {
+			t.Fatalf("first delivery: %+v", or)
+		}
+		if or := post(t, ts, body); !or.Duplicate || or.Observed != 0 || or.SessionObserved != 2 {
+			t.Fatalf("duplicate delivery: %+v", or)
+		}
+	})
+	t.Run("columnar form", func(t *testing.T) {
+		_, ts := newTestServer(t)
+		body := `{"tenant":"t","stream":"s","seq":9,"senders":[1,2,3],"sizes":[10,20,30]}`
+		if or := post(t, ts, body); or.Duplicate || or.Observed != 3 {
+			t.Fatalf("first delivery: %+v", or)
+		}
+		if or := post(t, ts, body); !or.Duplicate || or.Observed != 0 || or.SessionObserved != 3 {
+			t.Fatalf("duplicate delivery: %+v", or)
+		}
+	})
+	t.Run("negative seq rejected", func(t *testing.T) {
+		srv, ts := newTestServer(t)
+		resp, _ := postJSON(t, ts.URL+"/v1/observe", `{"tenant":"t","stream":"s","seq":-1,"events":[{"sender":1,"size":2}]}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("negative seq returned %s, want 400", resp.Status)
+		}
+		if srv.Registry().Len() != 0 {
+			t.Fatal("rejected request created a session")
+		}
+	})
+}
+
+// TestServerObserveMidBodyDisconnect pins the abandoned-upload path: a
+// client that advertises a body and hangs up halfway through must not
+// create a session, wedge the in-flight gate, or take the server down.
+func TestServerObserveMidBodyDisconnect(t *testing.T) {
+	srv := NewServerWith(NewRegistry(Config{}), ServerOptions{MaxInFlight: 2, RequestTimeout: 200 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := `{"tenant":"t","stream":"s","events":[{"sender":1,`
+	fmt.Fprintf(conn, "POST /v1/observe HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		u.Host, len(partial)+500, partial)
+	conn.Close()
+
+	// The handler sees an unexpected EOF (or the request deadline); either
+	// way the half-request must leave no trace. Poll briefly: the server
+	// notices the hangup asynchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Registry().Len() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := srv.Registry().Len(); n != 0 {
+		t.Fatalf("mid-body disconnect left %d sessions", n)
+	}
+	// Both in-flight slots are free again.
+	for i := 0; i < 2; i++ {
+		resp, out := postJSON(t, ts.URL+"/v1/observe", `{"tenant":"t","stream":"s","events":[{"sender":1,"size":2}]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("observe %d after disconnect returned %s: %s", i, resp.Status, out)
+		}
+	}
+}
+
+// TestServerOptionsDefaults pins the envelope defaults and the negative
+// opt-outs.
+func TestServerOptionsDefaults(t *testing.T) {
+	d := ServerOptions{}.withDefaults()
+	if d.MaxInFlight != DefaultMaxInFlight || d.RequestTimeout != DefaultRequestTimeout {
+		t.Fatalf("defaults = %+v", d)
+	}
+	off := ServerOptions{MaxInFlight: -1, RequestTimeout: -1}.withDefaults()
+	if off.MaxInFlight != -1 || off.RequestTimeout != -1 {
+		t.Fatalf("negative opt-outs were overridden: %+v", off)
+	}
+	if srv := NewServerWith(NewRegistry(Config{}), off); srv.inflight != nil {
+		t.Fatal("disabled gate still allocated a semaphore")
+	}
+}

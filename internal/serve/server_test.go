@@ -233,8 +233,8 @@ func TestServerObserveBodyLimit(t *testing.T) {
 		t.Fatalf("test body of %d bytes does not exceed the %d limit", len(body), maxObserveBody)
 	}
 	resp, _ := postJSON(t, ts.URL+"/v1/observe", body)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized body returned %s, want 400", resp.Status)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body returned %s, want 413", resp.Status)
 	}
 }
 

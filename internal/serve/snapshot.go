@@ -10,16 +10,26 @@ package serve
 // zig-zag varints):
 //
 //	magic   [4]byte  "MPS\x01"
-//	version uvarint  (currently 2)
+//	version uvarint  (currently 3)
 //	items:  a sequence of tagged items, each introduced by one tag byte
 //	  tagSnapSession (0x01): uvarint-length tenant and stream strings,
-//	                         varint observed-event count, the uvarint-length
-//	                         strategy name, then the sender and size
-//	                         strategy payloads (uvarint length + opaque
-//	                         bytes each, see internal/strategy)
+//	                         varint observed-event count, varint
+//	                         last-applied batch sequence (v3+), the
+//	                         uvarint-length strategy name, then the sender
+//	                         and size strategy payloads (uvarint length +
+//	                         opaque bytes each, see internal/strategy)
 //	  tagSnapEnd     (0x00): uvarint session count, then the trailer
 //	trailer [4]byte  little-endian CRC-32 (IEEE) of every byte from the
 //	                 magic through the session count inclusive
+//
+// Version 3 adds the per-session last-applied batch sequence number, the
+// state behind the observe API's duplicate suppression: a checkpoint that
+// restored predictor state but forgot which batches produced it would
+// re-learn re-delivered batches after a crash — exactly the corruption
+// idempotent retries exist to prevent — so the sequence is part of the
+// durable session, written between the observed count and the strategy
+// name. Version 2 files (no sequence field) are still read, restoring
+// with sequence 0 ("never saw a sequenced batch").
 //
 // Version 2 frames each predictor state as (strategy id, opaque payload)
 // instead of inlining DPD fields, which is what lets one file checkpoint a
@@ -28,7 +38,7 @@ package serve
 // inside. Version 1 files (DPD-only, predictor fields inline) are still
 // read — their states are re-framed as "dpd" payloads, byte-compatible
 // because the dpd payload format is exactly the version-1 inline predictor
-// state — but always written back as version 2.
+// state. All files are written back as version 3.
 //
 // The file holds no timestamps or other environmental state, and strategy
 // payloads are deterministic functions of predictor state, so
@@ -53,12 +63,17 @@ import (
 // snapshotMagic introduces every predictor snapshot file.
 var snapshotMagic = [4]byte{'M', 'P', 'S', 0x01}
 
-// SnapshotVersion is the current version of the snapshot format. Version
-// 1 (DPD-only, no strategy framing) is still accepted by ReadSnapshot.
-const SnapshotVersion = 2
+// SnapshotVersion is the current version of the snapshot format. Versions
+// 1 (DPD-only, no strategy framing) and 2 (strategy framing, no batch
+// sequence) are still accepted by ReadSnapshot.
+const SnapshotVersion = 3
 
 // snapshotVersion1 is the legacy DPD-only layout.
 const snapshotVersion1 = 1
+
+// snapshotVersion2 is the strategy-framed layout without the last-applied
+// batch sequence.
+const snapshotVersion2 = 2
 
 const (
 	tagSnapEnd     = 0x00
@@ -90,13 +105,15 @@ func snapCorruptf(format string, args ...interface{}) error {
 }
 
 // SessionSnapshot is one session's persistent state: its key, how many
-// events it has observed, the strategy it runs, and the opaque
+// events it has observed, the last applied batch sequence number (the
+// duplicate-suppression watermark), the strategy it runs, and the opaque
 // strategy-defined payloads of both stream predictors
 // (strategy.Strategy.Snapshot bytes).
 type SessionSnapshot struct {
 	Tenant   string
 	Stream   string
 	Observed int64
+	LastSeq  int64
 	Strategy string
 	Sender   []byte
 	Size     []byte
@@ -166,10 +183,14 @@ func WriteSnapshot(w io.Writer, sessions []SessionSnapshot) error {
 		if !strategy.Known(s.Strategy) {
 			return fmt.Errorf("serve: session %q/%q uses unregistered strategy %q", s.Tenant, s.Stream, s.Strategy)
 		}
+		if s.LastSeq < 0 {
+			return fmt.Errorf("serve: session %q/%q has a negative batch sequence %d", s.Tenant, s.Stream, s.LastSeq)
+		}
 		sw.writeByte(tagSnapSession)
 		sw.writeString(s.Tenant)
 		sw.writeString(s.Stream)
 		sw.writeVarint(s.Observed)
+		sw.writeVarint(s.LastSeq)
 		sw.writeString(s.Strategy)
 		sw.writePayload(s.Sender)
 		sw.writePayload(s.Size)
@@ -385,7 +406,7 @@ func ReadSnapshot(r io.Reader) ([]SessionSnapshot, error) {
 	if err != nil {
 		return nil, snapCorruptf("reading version: %v", err)
 	}
-	if version != SnapshotVersion && version != snapshotVersion1 {
+	if version != SnapshotVersion && version != snapshotVersion2 && version != snapshotVersion1 {
 		return nil, snapCorruptf("unsupported version %d (have %d)", version, SnapshotVersion)
 	}
 	var sessions []SessionSnapshot
@@ -450,6 +471,14 @@ func readSession(sr *snapReader, version uint64) (SessionSnapshot, error) {
 	}
 	if snap.Observed < 0 {
 		return snap, snapCorruptf("negative observed count %d", snap.Observed)
+	}
+	if version >= SnapshotVersion {
+		if snap.LastSeq, err = sr.readVarint(); err != nil {
+			return snap, snapCorruptf("reading batch sequence of %q/%q: %v", snap.Tenant, snap.Stream, err)
+		}
+		if snap.LastSeq < 0 {
+			return snap, snapCorruptf("negative batch sequence %d of %q/%q", snap.LastSeq, snap.Tenant, snap.Stream)
+		}
 	}
 	if version == snapshotVersion1 {
 		// Legacy DPD-only layout: inline predictor fields, re-framed as

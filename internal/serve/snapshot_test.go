@@ -232,10 +232,11 @@ func FuzzSnapshotCodec(f *testing.F) {
 			t.Fatalf("re-encoding accepted input failed: %v", err)
 		}
 		// Current-version files re-encode byte-identically (the
-		// warm-restart fixpoint); accepted legacy version-1 files come
-		// back as version 2, so for those the fixpoint is checked one
-		// conversion later: read(write(read(v1))) must equal read(v1) and
-		// the version-2 bytes must be a fixpoint themselves.
+		// warm-restart fixpoint); accepted legacy version-1/2 files come
+		// back as version 3, so for those the fixpoint is checked one
+		// conversion later: read(write(read(legacy))) must equal
+		// read(legacy) and the version-3 bytes must be a fixpoint
+		// themselves.
 		if len(data) > 4 && data[4] == SnapshotVersion {
 			if !bytes.Equal(buf.Bytes(), data) {
 				t.Fatalf("accepted input does not re-encode identically")
@@ -329,6 +330,114 @@ func TestSnapshotCodecReadsVersion1(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("version-1 decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// writeV2Snapshot builds a legacy version-2 file: the strategy-framed
+// layout before the last-applied batch sequence was added between the
+// observed count and the strategy name.
+func writeV2Snapshot(t testing.TB, sessions []SessionSnapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := &snapWriter{bw: bufio.NewWriter(&buf)}
+	sw.write(snapshotMagic[:])
+	sw.writeUvarint(snapshotVersion2)
+	for _, s := range sessions {
+		sw.writeByte(tagSnapSession)
+		sw.writeString(s.Tenant)
+		sw.writeString(s.Stream)
+		sw.writeVarint(s.Observed)
+		sw.writeString(s.Strategy)
+		sw.writePayload(s.Sender)
+		sw.writePayload(s.Size)
+	}
+	sw.writeByte(tagSnapEnd)
+	sw.writeUvarint(uint64(len(sessions)))
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sw.crc)
+	if sw.err != nil {
+		t.Fatal(sw.err)
+	}
+	if _, err := sw.bw.Write(trailer[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotCodecReadsVersion2 pins backward compatibility with the
+// pre-idempotency format: a version-2 file decodes to the same sessions
+// with LastSeq zero, so a daemon upgraded across the format change
+// warm-restarts from its old checkpoint (and simply has no dedup history
+// for batches it learned before the upgrade).
+func TestSnapshotCodecReadsVersion2(t *testing.T) {
+	want := sampleSessions(t)
+	for i := range want {
+		want[i].LastSeq = 0
+	}
+	got, err := ReadSnapshot(bytes.NewReader(writeV2Snapshot(t, want)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("version-2 decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotLastSeqRoundTrip pins the crash-recovery half of the
+// idempotency contract: the last applied batch sequence rides the
+// snapshot file and a registry restore, so re-delivered batches are
+// still recognized as duplicates after a warm restart.
+func TestSnapshotLastSeqRoundTrip(t *testing.T) {
+	r := NewRegistry(Config{Predictor: codecPredictorConfig()})
+	for seq := int64(1); seq <= 7; seq++ {
+		if _, _, err := r.ObserveBatchSeq("bt.4", "r1/logical", "", seq,
+			[]Event{{Sender: seq % 3, Size: 100 * seq}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := r.SnapshotSessions()
+	if len(want) != 1 || want[0].LastSeq != 7 {
+		t.Fatalf("snapshot = %+v, want one session with LastSeq 7", want)
+	}
+	data := encodeSnapshot(t, want)
+	got, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("LastSeq round trip mismatch")
+	}
+	// Restore into a fresh registry: a replay of an already applied batch
+	// must be dropped, and the re-snapshot must be byte-identical.
+	fresh := NewRegistry(Config{Predictor: codecPredictorConfig()})
+	if err := fresh.RestoreSessions(got); err != nil {
+		t.Fatal(err)
+	}
+	total, dup, err := fresh.ObserveBatchSeq("bt.4", "r1/logical", "", 7,
+		[]Event{{Sender: 1, Size: 700}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup {
+		t.Fatal("restored registry re-applied an already observed batch")
+	}
+	if total != want[0].Observed {
+		t.Fatalf("duplicate drop reported total %d, want %d", total, want[0].Observed)
+	}
+	if again := encodeSnapshot(t, fresh.SnapshotSessions()); !bytes.Equal(again, data) {
+		t.Fatal("restore + duplicate replay + snapshot is not byte-identical")
+	}
+}
+
+func TestWriteSnapshotRejectsNegativeLastSeq(t *testing.T) {
+	sessions := sampleSessions(t)[:1]
+	sessions[0].LastSeq = -1
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, sessions); err == nil {
+		t.Fatal("WriteSnapshot accepted a negative batch sequence")
 	}
 }
 

@@ -28,6 +28,8 @@
 package mpipredict
 
 import (
+	"context"
+
 	"mpipredict/internal/core"
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/predictor"
@@ -411,9 +413,10 @@ func LoadSessionSnapshots(path string) ([]SessionSnapshot, error) {
 
 // ReplayTrace feeds a recorded trace through the observe API of the
 // prediction daemon at baseURL, one session per traced (receiver, level)
-// stream.
-func ReplayTrace(baseURL string, tr *Trace, opts ReplayOptions) (ReplayStats, error) {
-	return serve.Replay(baseURL, tr, opts)
+// stream. Delivery is effectively-once: batches are sequenced and
+// transient failures retried; cancelling ctx aborts the replay.
+func ReplayTrace(ctx context.Context, baseURL string, tr *Trace, opts ReplayOptions) (ReplayStats, error) {
+	return serve.Replay(ctx, baseURL, tr, opts)
 }
 
 // SaveTrace and LoadTrace persist traces as JSON lines.
