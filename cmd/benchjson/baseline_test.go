@@ -11,7 +11,12 @@ import (
 
 func writeSnapshot(t *testing.T, path string, results []result) {
 	t.Helper()
-	data, err := json.Marshal(snapshot{Results: results})
+	writeSnapshotFile(t, path, snapshot{Results: results})
+}
+
+func writeSnapshotFile(t *testing.T, path string, snap snapshot) {
+	t.Helper()
+	data, err := json.Marshal(snap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +78,91 @@ func TestCompareBaseline(t *testing.T) {
 
 	if err := compareBaseline(ok, filepath.Join(dir, "missing.json"), 20, &out); err == nil {
 		t.Error("missing baseline file accepted")
+	}
+}
+
+// TestCompareBaselineHostReference covers the host-relative gate: a
+// regression on a machine whose fixed reference microbenchmark shifted
+// beyond the tolerance is warned about, not failed, while the same
+// regression with a stable reference (or a reference-free baseline)
+// still fails hard.
+func TestCompareBaselineHostReference(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	baseSnap := snapshot{
+		ReferenceNsPerOp: 1000,
+		Results: []result{
+			{Name: "serve-observe", Metrics: map[string]float64{"ops/s": 100_000}},
+		},
+	}
+	writeSnapshotFile(t, base, baseSnap)
+
+	regressed := func(ref float64) snapshot {
+		return snapshot{
+			ReferenceNsPerOp: ref,
+			Results: []result{
+				{Name: "serve-observe", Metrics: map[string]float64{"ops/s": 60_000}}, // -40%
+			},
+		}
+	}
+
+	// Stable host (reference within tolerance): the 40% drop is real.
+	var out bytes.Buffer
+	if err := compareBaseline(regressed(1050), base, 20, &out); err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("regression on a stable host passed: %v", err)
+	}
+
+	// Slower host (reference +60% against a 20% tolerance): warn, pass.
+	out.Reset()
+	if err := compareBaseline(regressed(1600), base, 20, &out); err != nil {
+		t.Errorf("regression on a shifted host failed hard: %v", err)
+	}
+	for _, want := range []string{"host reference", "WARNING", "regressed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("shifted-host log lacks %q:\n%s", want, out.String())
+		}
+	}
+
+	// Faster host counts as shifted too: -40% ops/s on a machine whose
+	// reference halved is not a code regression verdict either way.
+	out.Reset()
+	if err := compareBaseline(regressed(400), base, 20, &out); err != nil {
+		t.Errorf("regression on a faster host failed hard: %v", err)
+	}
+
+	// A baseline without a reference keeps the pre-fix hard gate, noted.
+	writeSnapshot(t, base, baseSnap.Results)
+	out.Reset()
+	if err := compareBaseline(regressed(1600), base, 20, &out); err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("regression against a reference-free baseline passed: %v", err)
+	}
+	if !strings.Contains(out.String(), "no host reference") {
+		t.Errorf("reference-free baseline not called out:\n%s", out.String())
+	}
+}
+
+// TestRunRecordsHostReference checks every written snapshot carries the
+// reference measurement, so the next PR's gate can be host-relative.
+func TestRunRecordsHostReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "snap.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-run", "^strategy-observe-lastvalue$", "-out", outPath}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ReferenceNsPerOp <= 0 {
+		t.Fatalf("snapshot reference_ns_per_op = %f, want positive", snap.ReferenceNsPerOp)
 	}
 }
 

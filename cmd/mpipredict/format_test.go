@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mpipredict/internal/strategy"
 )
 
 func TestCompareFormatFlagValidation(t *testing.T) {
@@ -63,7 +65,7 @@ func TestCompareCSVShape(t *testing.T) {
 	if lines[0] != "app,procs,strategy,horizons,logical_mean_sender_accuracy,physical_mean_sender_accuracy" {
 		t.Fatalf("unexpected CSV header: %q", lines[0])
 	}
-	const workloads, strategies = 5, 3
+	workloads, strategies := 5, len(strategy.Names())
 	if len(lines) != 1+workloads*strategies {
 		t.Fatalf("CSV has %d data rows, want %d", len(lines)-1, workloads*strategies)
 	}

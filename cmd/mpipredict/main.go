@@ -9,6 +9,7 @@
 //	mpipredict -experiment table1
 //	mpipredict -experiment figure3 -seed 7 -parallel 8
 //	mpipredict -experiment figure3 -predictor markov1
+//	mpipredict -experiment figure4 -predictor meta
 //	mpipredict -experiment compare
 //	mpipredict -experiment figure1 -iterations 40 -noiseless
 //	mpipredict -experiment table1 -cache-dir ~/.cache/mpipredict -cache-stats
@@ -19,7 +20,9 @@
 // With -predictor, the accuracy experiments (figure3, figure4, and the
 // figure replays) evaluate the named prediction strategy instead of the
 // paper's DPD; "compare" runs every registered strategy side by side on
-// one representative workload per benchmark. With -trace, the named file
+// one representative workload per benchmark. The adaptive "meta"
+// strategy wraps every other registered strategy and routes each
+// prediction to whichever currently scores best on the stream. With -trace, the named file
 // (binary .mpt or JSONL, from cmd/tracegen) replaces the simulator:
 // table1 characterises the traced receiver and figure3/figure4 evaluate
 // prediction accuracy on its recorded streams. With -cache-dir, simulated

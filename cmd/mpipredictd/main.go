@@ -9,6 +9,7 @@
 //	mpipredictd -addr 127.0.0.1:8600 -snapshot state.mps
 //	mpipredictd -addr 127.0.0.1:8600 -snapshot state.mps -snapshot-interval 5m
 //	mpipredictd -addr 127.0.0.1:8600 -predictor markov1           # default strategy for new sessions
+//	mpipredictd -addr 127.0.0.1:8600 -predictor meta              # adaptive routing among all strategies
 //	mpipredictd -replay testdata/corpus/bt.4.mpt                  # serve and self-load
 //	mpipredictd -replay testdata/corpus/bt.4.mpt -target http://127.0.0.1:8600
 //
@@ -16,7 +17,10 @@
 // by the observe request's "predictor" field at session creation and
 // defaulting to -predictor (the DPD when unset). Snapshots persist the
 // strategy alongside the state, so a restart restores a heterogeneous
-// session mix exactly.
+// session mix exactly. Sessions running the adaptive "meta" strategy
+// additionally report router telemetry — current leaders, switch counts
+// and per-expert rolling hit rates — per session on /v1/sessions and
+// aggregated under the "meta" key on /debug/vars.
 //
 // With -target, the daemon acts as a replay client instead: it feeds the
 // trace through the target daemon's observe API (load generation /

@@ -15,7 +15,9 @@
 //
 // With -predictor, the replayed mechanism forecasts with the named
 // prediction strategy instead of the paper's DPD, which quantifies how
-// much of each mechanism's win comes from the predictor quality.
+// much of each mechanism's win comes from the predictor quality; the
+// adaptive "meta" strategy routes among every registered strategy by
+// rolling accuracy.
 //
 // With -trace, the named file (from cmd/tracegen) replaces the simulator
 // and the replay runs against its recorded streams. With -cache-dir, the

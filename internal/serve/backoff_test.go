@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayClampsOverflow pins the shift-overflow fix: the old
+// `base << attempt` wrapped int64 for large attempts and could land on a
+// small positive value that slipped past the range guard (for example
+// base = 2³⁵+1 ns at attempt 29 wrapped to exactly 2²⁹ ns ≈ 536 ms),
+// collapsing backoff during a long outage. backoffDelay must never
+// return less than the honest (capped) delay, for any attempt count.
+func TestBackoffDelayClampsOverflow(t *testing.T) {
+	cases := []struct {
+		name    string
+		base    time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{"first attempt", DefaultRetryBase, 0, DefaultRetryBase},
+		{"doubles", DefaultRetryBase, 2, 4 * DefaultRetryBase},
+		{"reaches cap", DefaultRetryBase, 6, maxRetryBackoff}, // 25ms·2⁶ = 1.6s
+		{"far past cap", DefaultRetryBase, 40, maxRetryBackoff},
+		{"wrap to small positive", time.Duration(1<<35 + 1), 29, maxRetryBackoff},
+		{"wrap to zero", time.Second, 40, maxRetryBackoff},
+		{"shift width overflow", time.Nanosecond, 63, maxRetryBackoff},
+		{"huge attempt", time.Nanosecond, 1 << 30, maxRetryBackoff},
+		{"negative attempt", DefaultRetryBase, -1, maxRetryBackoff},
+		{"zero base", 0, 3, maxRetryBackoff},
+		{"base above cap", 2 * maxRetryBackoff, 0, maxRetryBackoff},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := backoffDelay(tc.base, tc.attempt); got != tc.want {
+				t.Fatalf("backoffDelay(%v, %d) = %v, want %v", tc.base, tc.attempt, got, tc.want)
+			}
+		})
+	}
+	// The invariant the guard exists for: no attempt count may shrink the
+	// delay below the previous attempt's floor once the cap is reached.
+	for attempt := 0; attempt < 200; attempt++ {
+		if d := backoffDelay(DefaultRetryBase, attempt); d < DefaultRetryBase || d > maxRetryBackoff {
+			t.Fatalf("backoffDelay(%v, %d) = %v outside [%v, %v]", DefaultRetryBase, attempt, d, DefaultRetryBase, maxRetryBackoff)
+		}
+	}
+}
+
+// TestSleepBackoffHighAttempt drives the real sleep through a (base,
+// attempt) pair whose raw shift wraps to 4 ns — a small positive value
+// the old after-the-fact guard accepted, so the pre-fix code slept
+// essentially zero. Clamped, the delay is maxRetryBackoff and the full
+// jitter keeps the wait in [cap/2, cap].
+func TestSleepBackoffHighAttempt(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	base := time.Duration(1)<<62 + 1 // base<<2 = 2⁶⁴+4, wraps to 4 ns
+	start := time.Now()
+	if err := sleepBackoff(ctx, base, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	took := time.Since(start)
+	if took < maxRetryBackoff/2-50*time.Millisecond {
+		t.Fatalf("sleepBackoff slept %v, want ≥ %v: the wrapped shift collapsed the backoff", took, maxRetryBackoff/2)
+	}
+	if took > 3*maxRetryBackoff {
+		t.Fatalf("sleepBackoff slept %v, want ≤ jittered cap %v", took, maxRetryBackoff)
+	}
+}

@@ -127,6 +127,32 @@ type SessionInfo struct {
 	CreatedUnix  int64   `json:"created_unix"`
 	LastSeenUnix int64   `json:"last_observe_unix"`
 	IdleSeconds  float64 `json:"idle_s"`
+	// Meta carries the adaptive router's telemetry for sessions whose
+	// strategy routes among experts (the meta strategy); nil otherwise.
+	Meta *SessionMetaInfo `json:"meta,omitempty"`
+}
+
+// SessionMetaInfo is the per-session view of the meta router: which
+// expert each stream currently routes to, how often the routes have
+// switched, and every expert's rolling windowed hit rate per stream.
+type SessionMetaInfo struct {
+	SenderLeader string             `json:"sender_leader"`
+	SizeLeader   string             `json:"size_leader"`
+	Switches     int64              `json:"switches"`
+	SenderRates  map[string]float64 `json:"sender_hit_rates"`
+	SizeRates    map[string]float64 `json:"size_hit_rates"`
+}
+
+// MetaStats aggregates router telemetry across every meta session: how
+// many sessions route adaptively, the total switch count, how many
+// streams each expert currently leads, and each expert's hit rate over
+// the union of all rolling windows (exact Σhits/Σscored, not a mean of
+// per-session rates).
+type MetaStats struct {
+	Sessions int                `json:"sessions"`
+	Switches int64              `json:"switches"`
+	Leaders  map[string]int     `json:"leaders"`
+	HitRates map[string]float64 `json:"hit_rates"`
 }
 
 // Stats aggregates registry activity since construction.
@@ -542,7 +568,29 @@ func (r *Registry) infoLocked(s *session) SessionInfo {
 	if p, ok := strategyPeriod(s.size); ok {
 		info.SizePeriod = p
 	}
+	if sr, ok := s.sender.(strategy.RouteReporter); ok {
+		if zr, ok := s.size.(strategy.RouteReporter); ok {
+			si, zi := sr.RouteInfo(), zr.RouteInfo()
+			info.Meta = &SessionMetaInfo{
+				SenderLeader: si.Leader,
+				SizeLeader:   zi.Leader,
+				Switches:     si.Switches + zi.Switches,
+				SenderRates:  routeRates(si),
+				SizeRates:    routeRates(zi),
+			}
+		}
+	}
 	return info
+}
+
+// routeRates flattens a RouteInfo into the expert→rate map the session
+// listing serves.
+func routeRates(info strategy.RouteInfo) map[string]float64 {
+	rates := make(map[string]float64, len(info.Experts))
+	for _, e := range info.Experts {
+		rates[e.Name] = e.Rate
+	}
+	return rates
 }
 
 // strategyState reports a strategy's discrete state when it has one (the
@@ -623,6 +671,48 @@ func (r *Registry) SweepIdle() int {
 	}
 	r.evictedIdle.Add(int64(evicted))
 	return evicted
+}
+
+// MetaStats aggregates adaptive-router telemetry across every session
+// whose strategy is a meta router. Rates are computed from summed
+// windowed hits and scored counts, so a stream observed a million times
+// weighs no more than its window — exactly the per-session semantics,
+// aggregated.
+func (r *Registry) MetaStats() MetaStats {
+	stats := MetaStats{Leaders: map[string]int{}, HitRates: map[string]float64{}}
+	hits := map[string]int{}
+	scored := map[string]int{}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			counted := false
+			for _, st := range []strategy.Strategy{s.sender, s.size} {
+				rr, ok := st.(strategy.RouteReporter)
+				if !ok {
+					continue
+				}
+				counted = true
+				info := rr.RouteInfo()
+				stats.Switches += info.Switches
+				stats.Leaders[info.Leader]++
+				for _, e := range info.Experts {
+					hits[e.Name] += e.Hits
+					scored[e.Name] += e.Scored
+				}
+			}
+			if counted {
+				stats.Sessions++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for name, sc := range scored {
+		if sc > 0 {
+			stats.HitRates[name] = float64(hits[name]) / float64(sc)
+		}
+	}
+	return stats
 }
 
 // Stats returns a snapshot of the registry counters.

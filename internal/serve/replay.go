@@ -288,13 +288,26 @@ func isRetryable(err error) bool {
 	return errors.As(err, &re)
 }
 
+// backoffDelay is base·2^attempt clamped to (0, maxRetryBackoff]. The
+// shift is guarded before it happens: a raw base<<attempt wraps int64 for
+// large attempts and can land on a small positive value that slips past
+// an after-the-fact range check, collapsing backoff mid-outage.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return maxRetryBackoff
+	}
+	// base ≤ maxRetryBackoff>>attempt ⟺ base<<attempt ≤ maxRetryBackoff,
+	// with no overflow on either side; attempt ≥ 63 always overflows.
+	if attempt < 0 || attempt >= 63 || base > maxRetryBackoff>>uint(attempt) {
+		return maxRetryBackoff
+	}
+	return base << uint(attempt)
+}
+
 // sleepBackoff waits base·2^attempt (capped, full-jittered, at least
 // retryAfter when the server named one) or until ctx is cancelled.
 func sleepBackoff(ctx context.Context, base time.Duration, attempt int, retryAfter time.Duration) error {
-	d := base << uint(attempt)
-	if d <= 0 || d > maxRetryBackoff {
-		d = maxRetryBackoff
-	}
+	d := backoffDelay(base, attempt)
 	// Full jitter: uniform in [d/2, d). Decorrelates the retry storms of
 	// many replay clients hammering one recovering server.
 	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))

@@ -190,6 +190,10 @@ func NewServerWith(reg *Registry, opts ServerOptions) *Server {
 	s.vars.Set("forecast_queries", counter(&reg.forecasts))
 	s.vars.Set("missed_lookups", counter(&reg.missed))
 	s.vars.Set("duplicate_batches", counter(&reg.dupBatches))
+	// Aggregate adaptive-router telemetry: per-strategy rolling hit
+	// rates, current leaders and switch counts across every meta session.
+	// Computed on scrape — /debug/vars is cold path, observes stay free.
+	s.vars.Set("meta", expvar.Func(func() interface{} { return reg.MetaStats() }))
 	s.vars.Set("recovered_panics", counter(&s.recoveredPanics))
 	s.vars.Set("rejected_overload", counter(&s.rejectedOverload))
 	s.vars.Set("uptime_seconds", expvar.Func(func() interface{} {

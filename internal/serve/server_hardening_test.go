@@ -40,10 +40,7 @@ func TestServerRecoversPanickingHandler(t *testing.T) {
 		t.Fatalf("observe after panic returned %s", resp.Status)
 	}
 	_, body := get(t, ts.URL+"/debug/vars")
-	var vars map[string]float64
-	if err := json.Unmarshal([]byte(body), &vars); err != nil {
-		t.Fatal(err)
-	}
+	vars := decodeVars(t, body)
 	if vars["recovered_panics"] != 1 {
 		t.Fatalf("recovered_panics = %v, want 1", vars["recovered_panics"])
 	}
@@ -61,10 +58,7 @@ func TestServerPanicRecoveryPreservesAbort(t *testing.T) {
 		t.Fatal("aborted handler produced a clean response")
 	}
 	_, body := get(t, ts.URL+"/debug/vars")
-	var vars map[string]float64
-	if err := json.Unmarshal([]byte(body), &vars); err != nil {
-		t.Fatal(err)
-	}
+	vars := decodeVars(t, body)
 	if vars["recovered_panics"] != 0 {
 		t.Fatalf("recovered_panics = %v, want 0 (abort is not a bug)", vars["recovered_panics"])
 	}
@@ -117,10 +111,7 @@ func TestServerInFlightGate(t *testing.T) {
 		t.Fatalf("observe after load returned %s", resp.Status)
 	}
 	_, body := get(t, ts.URL+"/debug/vars")
-	var vars map[string]float64
-	if err := json.Unmarshal([]byte(body), &vars); err != nil {
-		t.Fatal(err)
-	}
+	vars := decodeVars(t, body)
 	if vars["rejected_overload"] != 1 {
 		t.Fatalf("rejected_overload = %v, want 1", vars["rejected_overload"])
 	}

@@ -45,6 +45,25 @@ func get(t *testing.T, url string) (*http.Response, string) {
 	return resp, buf.String()
 }
 
+// decodeVars parses a /debug/vars body into its numeric metrics. The map
+// is scalar except for the composite "meta" router telemetry, which
+// callers decode separately when they care.
+func decodeVars(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &raw); err != nil {
+		t.Fatalf("metrics are not a JSON object: %v\n%s", err, body)
+	}
+	vars := make(map[string]float64, len(raw))
+	for name, msg := range raw {
+		var v float64
+		if err := json.Unmarshal(msg, &v); err == nil {
+			vars[name] = v
+		}
+	}
+	return vars
+}
+
 func TestServerObservePredictEndToEnd(t *testing.T) {
 	_, ts := newTestServer(t)
 
@@ -194,10 +213,7 @@ func TestServerExpvarMetrics(t *testing.T) {
 	get(t, ts.URL+"/v1/predict?tenant=t&stream=s")
 
 	_, out := get(t, ts.URL+"/debug/vars")
-	var vars map[string]float64
-	if err := json.Unmarshal([]byte(out), &vars); err != nil {
-		t.Fatalf("metrics are not a flat JSON object: %v\n%s", err, out)
-	}
+	vars := decodeVars(t, out)
 	if vars["sessions"] != 1 || vars["observed_events"] != 1 || vars["forecast_queries"] != 1 {
 		t.Fatalf("unexpected metrics: %v", vars)
 	}
@@ -216,10 +232,7 @@ func TestServerMultipleInstancesDoNotCollide(t *testing.T) {
 
 	rec := httptest.NewRecorder()
 	b.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/vars", nil))
-	var vars map[string]float64
-	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
-		t.Fatal(err)
-	}
+	vars := decodeVars(t, rec.Body.String())
 	if vars["observed_events"] != 0 {
 		t.Fatal("server B reported server A's traffic")
 	}

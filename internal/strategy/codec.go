@@ -82,6 +82,24 @@ func (r *payloadReader) varint() (int64, error) {
 	return v, nil
 }
 
+// bytes reads a uvarint length prefix and the following raw bytes. The
+// returned slice aliases the payload; callers that retain it copy it.
+func (r *payloadReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxPayloadSliceLen {
+		return nil, payloadErrf("byte length %d exceeds the payload limit %d", n, maxPayloadSliceLen)
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, payloadErrf("byte length %d exceeds the %d remaining bytes", n, len(r.data)-r.pos)
+	}
+	out := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return out, nil
+}
+
 func (r *payloadReader) int64s() ([]int64, error) {
 	n, err := r.uvarint()
 	if err != nil {

@@ -2,6 +2,7 @@ package strategy
 
 import (
 	"fmt"
+	"math"
 
 	"mpipredict/internal/core"
 )
@@ -85,7 +86,15 @@ func (p *Markov1) Observe(x int64) {
 			row = grown
 			p.counts[prev] = row
 		}
-		row[id]++
+		// Saturate instead of wrapping: after 2³² repeats of one
+		// transition the increment would wrap the count to 0, leaving
+		// bestCount[prev] stale and the argmax invariant corrupted. A
+		// saturated count stays the maximum, which also keeps Restore's
+		// ascending strictly-greater scan in agreement with the online
+		// tie-break.
+		if row[id] != math.MaxUint32 {
+			row[id]++
+		}
 		c := row[id]
 		// Keep bestSucc the smallest-id argmax: a strictly greater count
 		// always wins; an equal count wins only from a smaller id.

@@ -1,0 +1,57 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMarkov1CountSaturates pins the overflow fix for long-run streams: a
+// transition repeated 2³² times used to wrap its uint32 count back to 0,
+// leaving bestCount stale and desynchronizing the snapshot (which drops
+// zero counts) from the online argmax. The test pre-loads a near-max
+// count through a crafted payload, pushes the transition past the limit,
+// and asserts the count saturates and a restored instance still agrees
+// with the live one. On the pre-fix code the count wraps to 0 and the
+// restored strategy elects a different successor.
+func TestMarkov1CountSaturates(t *testing.T) {
+	// Values 10, 20, 30 intern to ids 0, 1, 2. Row 0 starts with the
+	// 10→20 transition one step short of saturation and 10→30 at 2.
+	var w payloadWriter
+	w.uvarint(3)
+	for _, v := range []int64{10, 20, 30} {
+		w.varint(v)
+	}
+	w.uvarint(2) // row 0: two entries, ascending by id
+	w.uvarint(1)
+	w.uvarint(math.MaxUint32 - 1)
+	w.uvarint(2)
+	w.uvarint(2)
+	w.uvarint(0) // row 1: empty
+	w.uvarint(0) // row 2: empty
+	w.varint(-1) // no last observation
+
+	p := NewMarkov1()
+	if err := p.Restore(w.buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// 10→20 twice: the first increment reaches MaxUint32, the second
+	// must saturate rather than wrap to 0.
+	for _, x := range []int64{10, 20, 10, 20, 10} {
+		p.Observe(x)
+	}
+	if got := p.counts[0][1]; got != math.MaxUint32 {
+		t.Fatalf("10→20 count = %d, want saturated at %d", got, uint32(math.MaxUint32))
+	}
+	if v, ok := p.Predict(1); !ok || v != 20 {
+		t.Fatalf("live Predict(1) = %d, %v; want 20, true", v, ok)
+	}
+
+	restored := NewMarkov1()
+	if err := restored.Restore(p.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := restored.Predict(1); !ok || v != 20 {
+		t.Fatalf("restored Predict(1) = %d, %v; want 20, true (snapshot lost the saturated transition)", v, ok)
+	}
+}

@@ -161,6 +161,15 @@ func init() {
 	Register("dpd", func(cfg core.Config) Strategy { return NewDPD(cfg) })
 	Register("lastvalue", func(core.Config) Strategy { return NewLastValue() })
 	Register("markov1", func(core.Config) Strategy { return NewMarkov1() })
+	Register(MetaName, func(cfg core.Config) Strategy {
+		m, err := NewMeta(cfg, nil)
+		if err != nil {
+			// Unreachable: the default expert set is every other
+			// registered strategy, which is non-empty and valid.
+			panic(fmt.Sprintf("strategy: building default meta: %v", err))
+		}
+		return m
+	})
 }
 
 // seriesInto is the shared PredictSeriesInto body: strategies whose
