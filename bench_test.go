@@ -289,6 +289,43 @@ func BenchmarkServePredict(b *testing.B) {
 	benchdefs.ReportThroughput(b)
 }
 
+// BenchmarkGatewayObserve measures the cluster front door's keyed
+// forward path: request parse, rendezvous routing, one proxied HTTP hop
+// to the owning backend's observe handler, response relay.
+func BenchmarkGatewayObserve(b *testing.B) {
+	env, err := benchdefs.NewGatewayBenchEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.ObserveHTTP(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportThroughput(b)
+}
+
+// BenchmarkGatewayPredict measures the +1..+5 predict query through the
+// gateway's forwarding hop.
+func BenchmarkGatewayPredict(b *testing.B) {
+	env, err := benchdefs.NewGatewayBenchEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.PredictHTTP(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportThroughput(b)
+}
+
 // BenchmarkStrategyObserve measures the steady-state observe cost of
 // every registered prediction strategy through the Strategy interface —
 // the per-event price each model pays on the serving hot path. The dpd

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"mpipredict/internal/benchdefs"
+	"mpipredict/internal/buildinfo"
 	"mpipredict/internal/cliutil"
 	"mpipredict/internal/strategy"
 )
@@ -200,6 +201,48 @@ func benchmarks() []entry {
 			}
 			benchdefs.ReportBatchThroughput(b)
 		}},
+		{"gateway-observe", false, func(b *testing.B) {
+			env, err := benchdefs.NewGatewayBenchEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.ObserveHTTP(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportThroughput(b)
+		}},
+		{"gateway-observe-batch", false, func(b *testing.B) {
+			env, err := benchdefs.NewGatewayBenchEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.ObserveBatchHTTP(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportBatchThroughput(b)
+		}},
+		{"gateway-predict", false, func(b *testing.B) {
+			env, err := benchdefs.NewGatewayBenchEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.PredictHTTP(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportThroughput(b)
+		}},
 		{"serve-registry-observe-block", false, func(b *testing.B) {
 			env := benchdefs.NewServeBenchEnv()
 			b.ResetTimer()
@@ -277,8 +320,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	baseline := fs.String("baseline", "", "compare throughput against this earlier snapshot and fail on regressions")
 	maxRegress := fs.Float64("max-regress", 20, "with -baseline: tolerated throughput drop in percent")
 	list := fs.Bool("list", false, "list benchmark names and exit")
+	versionFlag := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *versionFlag {
+		fmt.Fprintln(stdout, buildinfo.CLIVersion("benchjson"))
+		return nil
 	}
 	if *baseline == "" && len(cliutil.SetFlags(fs, "max-regress")) > 0 {
 		return fmt.Errorf("-max-regress has no effect without -baseline; drop it")

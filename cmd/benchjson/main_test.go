@@ -148,3 +148,13 @@ func TestRunFilterSelectsAndBenchmarks(t *testing.T) {
 		t.Fatalf("registry observe allocates %d objects per op, want 0", r.AllocsPerOp)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "benchjson ") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}

@@ -1,0 +1,212 @@
+// Command mpigateway is the cluster front door: it serves the single-
+// daemon HTTP surface (observe, predict, sessions, health, vars) over a
+// fleet of mpipredictd backends, routing each (tenant, stream) session
+// to its rendezvous-hash owner and fanning unkeyed queries out to every
+// backend with partial-failure accounting.
+//
+// Usage:
+//
+//	mpigateway -backends http://10.0.0.1:8600,http://10.0.0.2:8600,http://10.0.0.3:8600
+//	mpigateway -addr 127.0.0.1:8700 -backends ... -backend-timeout 3s
+//	mpigateway -backends ... -migrate state.mps      # partition a snapshot across the cluster and exit
+//	mpigateway -version
+//
+// At startup the gateway asserts every reachable backend runs the same
+// build as itself (compared via the buildinfo var on /debug/vars): two
+// daemons disagreeing on the snapshot or wire format would corrupt
+// sessions silently, so a mismatch refuses to start. Unreachable
+// backends only warn — a cluster must be able to boot its gateway while
+// a node is still starting — and -skip-build-check bypasses the check
+// entirely for mixed-version emergencies.
+//
+// With -migrate, the gateway instead loads a .mps snapshot (a drained
+// daemon's checkpoint), splits it by the shard map, POSTs each part to
+// its owning backend's /v1/restore, reports the per-backend counts and
+// exits. This is the session-migration step of any shard-map change:
+// drain, checkpoint, re-run mpigateway with the new -backends list.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpipredict/internal/buildinfo"
+	"mpipredict/internal/cliutil"
+	"mpipredict/internal/cluster"
+	"mpipredict/internal/serve"
+)
+
+// onListen, when non-nil, is invoked with the bound address once the
+// gateway is accepting connections. Tests use it to discover -addr :0
+// ports; production leaves it nil.
+var onListen func(addr string)
+
+func main() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, sigs); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "mpigateway:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBackends splits and validates the -backends list into clean base
+// URLs (scheme + host, no trailing slash).
+func parseBackends(spec string) ([]string, error) {
+	var backends []string
+	for _, raw := range strings.Split(spec, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("backend %q: %w", raw, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("backend %q must be an http(s) base URL like http://host:port", raw)
+		}
+		if u.Path != "" && u.Path != "/" {
+			return nil, fmt.Errorf("backend %q must not carry a path", raw)
+		}
+		backends = append(backends, u.Scheme+"://"+u.Host)
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("-backends requires at least one http://host:port URL")
+	}
+	return backends, nil
+}
+
+// run is the testable body of the command. It returns when the gateway
+// is shut down by a signal on sigs, or immediately after -migrate.
+func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
+	fset := flag.NewFlagSet("mpigateway", flag.ContinueOnError)
+	fset.SetOutput(stderr)
+	addr := fset.String("addr", "127.0.0.1:8700", "listen address (host:port; port 0 picks a free port)")
+	backendSpec := fset.String("backends", "", "comma-separated mpipredictd base URLs forming the cluster (required)")
+	backendTimeout := fset.Duration("backend-timeout", cluster.DefaultBackendTimeout, "per-attempt deadline for one backend request")
+	retries := fset.Int("retries", serve.DefaultMaxRetries, "retry budget for keyed forwards after a retryable backend failure")
+	retryBase := fset.Duration("retry-base", serve.DefaultRetryBase, "initial retry backoff (doubles per attempt, capped and jittered)")
+	migratePath := fset.String("migrate", "", "partition this .mps snapshot across the cluster via /v1/restore, report counts and exit")
+	skipBuildCheck := fset.Bool("skip-build-check", false, "do not require backends to run the gateway's build (mixed-version emergencies only)")
+	drainTimeout := fset.Duration("drain-timeout", 10*time.Second, "how long a shutdown waits for in-flight requests before cutting them off")
+	version := fset.Bool("version", false, "print version and exit")
+	if err := fset.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.CLIVersion("mpigateway"))
+		return nil
+	}
+	if fset.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fset.Args())
+	}
+	if *backendSpec == "" {
+		return fmt.Errorf("-backends is required")
+	}
+	if *backendTimeout <= 0 {
+		return fmt.Errorf("-backend-timeout must be positive")
+	}
+	if *drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive")
+	}
+	if *migratePath != "" {
+		// Migration runs no server; reject server knobs the way the daemon
+		// rejects theirs in client mode.
+		if set := cliutil.SetFlags(fset, "addr", "drain-timeout"); len(set) > 0 {
+			return fmt.Errorf("%v only affect the server and are ignored with -migrate; drop them", set)
+		}
+	}
+	backends, err := parseBackends(*backendSpec)
+	if err != nil {
+		return err
+	}
+	shards, err := cluster.NewShardMap(backends)
+	if err != nil {
+		return err
+	}
+	gw := cluster.NewGateway(shards, cluster.Options{
+		BackendTimeout: *backendTimeout,
+		MaxRetries:     *retries,
+		RetryBase:      *retryBase,
+	})
+
+	if *migratePath != "" {
+		restored, err := gw.MigrateFile(context.Background(), *migratePath)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(restored))
+		total := 0
+		for b, n := range restored {
+			names = append(names, b)
+			total += n
+		}
+		sort.Strings(names)
+		for _, b := range names {
+			fmt.Fprintf(stdout, "mpigateway: restored %d sessions to %s\n", restored[b], b)
+		}
+		fmt.Fprintf(stdout, "mpigateway: migrated %d sessions from %s across %d backends\n", total, *migratePath, len(restored))
+		return nil
+	}
+
+	if *skipBuildCheck {
+		fmt.Fprintln(stderr, "mpigateway: warning: backend build check skipped")
+	} else {
+		warnings, err := gw.CheckBuilds(context.Background())
+		for _, w := range warnings {
+			fmt.Fprintf(stderr, "mpigateway: warning: %s\n", w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(stdout, "mpigateway: %s routing over %d backends, listening on http://%s\n",
+		buildinfo.Get(), shards.Len(), bound)
+	if onListen != nil {
+		onListen(bound)
+	}
+
+	httpSrv := &http.Server{
+		Handler:           gw,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "mpigateway: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := httpSrv.Shutdown(ctx)
+		cancel()
+		fmt.Fprintf(stdout, "mpigateway: drained, exiting\n")
+		return err
+	case err := <-serveErr:
+		return err
+	}
+}

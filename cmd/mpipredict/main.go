@@ -38,6 +38,7 @@ import (
 	"io"
 	"os"
 
+	"mpipredict/internal/buildinfo"
 	"mpipredict/internal/cliutil"
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/report"
@@ -73,8 +74,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	format := fs.String("format", "table", "output format for -experiment compare: table or csv")
 	cacheDir := fs.String("cache-dir", "", "persist simulated traces under this directory and reuse them across runs")
 	cacheStats := fs.Bool("cache-stats", false, "print trace-cache statistics for this run to stderr")
+	versionFlag := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *versionFlag {
+		fmt.Fprintln(stdout, buildinfo.CLIVersion("mpipredict"))
+		return nil
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())

@@ -313,3 +313,13 @@ func TestCompareExperimentTiny(t *testing.T) {
 		}
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "mpipredict ") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"mpipredict/internal/buildinfo"
 	"mpipredict/internal/cliutil"
 	"mpipredict/internal/faultinject"
 	"mpipredict/internal/serve"
@@ -94,8 +95,13 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	batch := fset.Int("replay-batch", 64, "events per observe request during replay")
 	drainTimeout := fset.Duration("drain-timeout", 10*time.Second, "how long a shutdown waits for in-flight requests before cutting them off")
 	chaosSpec := fset.String("chaos", "", "TESTING ONLY: inject faults into every served request, e.g. err=0.05,reset=0.05,latency=0.2:2ms,seed=42")
+	versionFlag := fset.Bool("version", false, "print version and exit")
 	if err := fset.Parse(args); err != nil {
 		return err
+	}
+	if *versionFlag {
+		fmt.Fprintln(stdout, buildinfo.CLIVersion("mpipredictd"))
+		return nil
 	}
 	if fset.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fset.Args())

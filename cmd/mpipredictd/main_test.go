@@ -759,3 +759,13 @@ func TestDaemonPredictorFlagValidation(t *testing.T) {
 		t.Fatalf("predictor with -target: got %v", err)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "mpipredictd ") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"io"
 	"os"
 
+	"mpipredict/internal/buildinfo"
 	"mpipredict/internal/cliutil"
 	"mpipredict/internal/core"
 	"mpipredict/internal/predictor"
@@ -70,8 +71,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	tracePath := fs.String("trace", "", "replay this trace file (.mpt or JSONL) instead of simulating")
 	cacheDir := fs.String("cache-dir", "", "persist simulated traces under this directory and reuse them across runs")
 	cacheStats := fs.Bool("cache-stats", false, "print trace-cache statistics for this run to stderr")
+	versionFlag := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *versionFlag {
+		fmt.Fprintln(stdout, buildinfo.CLIVersion("scalesim"))
+		return nil
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())

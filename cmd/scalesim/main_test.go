@@ -225,3 +225,13 @@ func TestPredictorFlagChangesReplay(t *testing.T) {
 		t.Fatal("-predictor lastvalue produced the same buffer report as the DPD")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "scalesim ") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}

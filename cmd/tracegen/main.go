@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"mpipredict/internal/buildinfo"
 	"mpipredict/internal/cliutil"
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/stream"
@@ -61,8 +62,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	swap := fs.Float64("swap", 0, "with -events: per-position probability that adjacent physical arrivals swap")
 	streamMode := fs.Bool("stream", false, "export through the streaming block codec: constant memory, byte-identical output")
 	list := fs.Bool("list", false, "list the available workloads and exit")
+	versionFlag := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *versionFlag {
+		fmt.Fprintln(stdout, buildinfo.CLIVersion("tracegen"))
+		return nil
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())

@@ -140,3 +140,13 @@ func TestAllReceiversExport(t *testing.T) {
 		t.Errorf("traced %d receivers, want all 4", got)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-version"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "tracegen ") {
+		t.Fatalf("version output = %q", out.String())
+	}
+}

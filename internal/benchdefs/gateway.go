@@ -1,0 +1,125 @@
+package benchdefs
+
+// The gateway benchmark bodies: a 3-backend cluster behind one
+// mpigateway handler, measuring the full client→gateway→backend hop for
+// the keyed hot paths (observe forward, predict forward). Backends are
+// real HTTP servers — the gateway talks to them over sockets exactly as
+// in production — while the gateway itself is driven through httptest
+// recorders, so the numbers isolate the routing hop rather than a
+// client's connection handling. Shared by the root bench_test.go and
+// cmd/benchjson.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"mpipredict/internal/cluster"
+	"mpipredict/internal/serve"
+)
+
+// GatewayBenchBackends is the cluster size of the gateway benchmarks —
+// three, the smallest fleet where routing is non-trivial.
+const GatewayBenchBackends = 3
+
+// GatewayBenchEnv is a warmed 3-node cluster: one session locked onto
+// the same periodic stream ServeBenchEnv uses, reached through the
+// gateway's forwarding path.
+type GatewayBenchEnv struct {
+	Gateway *cluster.Gateway
+
+	backends      []*httptest.Server
+	observeBodies [ServeBenchPeriod][]byte
+	batchBody     []byte
+	predictURL    string
+}
+
+// NewGatewayBenchEnv builds the cluster, wires the gateway over it and
+// warms the benchmark session past the locking transient. Callers must
+// Close the environment to release the backend listeners.
+func NewGatewayBenchEnv() (*GatewayBenchEnv, error) {
+	env := &GatewayBenchEnv{
+		predictURL: "/v1/predict?tenant=bench&stream=s&k=5",
+	}
+	urls := make([]string, GatewayBenchBackends)
+	for i := range urls {
+		ts := httptest.NewServer(serve.NewServer(serve.NewRegistry(serve.Config{})))
+		env.backends = append(env.backends, ts)
+		urls[i] = ts.URL
+	}
+	shards, err := cluster.NewShardMap(urls)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	env.Gateway = cluster.NewGateway(shards, cluster.Options{})
+
+	for i := range env.observeBodies {
+		env.observeBodies[i] = []byte(fmt.Sprintf(
+			`{"tenant":"bench","stream":"s","events":[{"sender":%d,"size":%d}]}`,
+			i%ServeBenchPeriod, 100*(i%ServeBenchPeriod)))
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"tenant":"bench","stream":"s","events":[`)
+	for i := 0; i < ServeBenchBatch; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, `{"sender":%d,"size":%d}`, i%ServeBenchPeriod, 100*(i%ServeBenchPeriod))
+	}
+	buf.WriteString(`]}`)
+	env.batchBody = buf.Bytes()
+
+	// Warm through the gateway itself: the forwarding path is what the
+	// benchmark measures, so its connection pool should be hot too.
+	warm := serveWarmEvents()
+	for i := 0; i < warm; i++ {
+		if err := env.ObserveHTTP(i); err != nil {
+			env.Close()
+			return nil, err
+		}
+	}
+	return env, nil
+}
+
+// Close shuts down the backend servers.
+func (e *GatewayBenchEnv) Close() {
+	for _, ts := range e.backends {
+		ts.Close()
+	}
+}
+
+// ObserveHTTP posts one single-event observe through the gateway, which
+// forwards it to the session's owning backend.
+func (e *GatewayBenchEnv) ObserveHTTP(i int) error {
+	return e.post(e.observeBodies[i%ServeBenchPeriod])
+}
+
+// ObserveBatchHTTP posts one 64-event observe through the gateway.
+func (e *GatewayBenchEnv) ObserveBatchHTTP(int) error {
+	return e.post(e.batchBody)
+}
+
+func (e *GatewayBenchEnv) post(body []byte) error {
+	req := httptest.NewRequest(http.MethodPost, "/v1/observe", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	e.Gateway.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("gateway observe returned %d: %s", rec.Code, rec.Body.String())
+	}
+	return nil
+}
+
+// PredictHTTP issues one +1..+5 predict query through the gateway.
+func (e *GatewayBenchEnv) PredictHTTP() error {
+	req := httptest.NewRequest(http.MethodGet, e.predictURL, nil)
+	rec := httptest.NewRecorder()
+	e.Gateway.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("gateway predict returned %d: %s", rec.Code, rec.Body.String())
+	}
+	io.Copy(io.Discard, rec.Body)
+	return nil
+}

@@ -93,12 +93,18 @@ func NewServeBenchEnv() *ServeBenchEnv {
 	// Warm for a whole number of pattern repetitions, so a benchmark loop
 	// starting at event 0 continues the stream in phase and the session
 	// stays locked throughout the measurement.
-	warm := 4 * core.DefaultConfig().WindowSize
-	warm -= warm % ServeBenchPeriod
-	for i := 0; i < warm; i++ {
+	for i := 0; i < serveWarmEvents(); i++ {
 		env.ObserveDirect(i)
 	}
 	return env
+}
+
+// serveWarmEvents is the warm-up length of the serving benchmarks: four
+// detection windows, rounded down to a whole number of pattern periods
+// so a benchmark loop starting at event 0 continues the stream in phase.
+func serveWarmEvents() int {
+	warm := 4 * core.DefaultConfig().WindowSize
+	return warm - warm%ServeBenchPeriod
 }
 
 // ObserveDirect feeds event i of the periodic stream straight into the

@@ -1,0 +1,68 @@
+package benchdefs
+
+// Smoke the serving and gateway benchmark environments: every body the
+// committed BENCH_<n>.json snapshots measure must actually run clean, or
+// benchjson fails at recording time with no test having said why.
+
+import "testing"
+
+func TestServeBenchEnvBodiesRun(t *testing.T) {
+	env := NewServeBenchEnv()
+	if env.Registry.Len() != 1 {
+		t.Fatalf("warmed env holds %d sessions, want 1", env.Registry.Len())
+	}
+	for i := 0; i < 2*ServeBenchPeriod; i++ {
+		env.ObserveDirect(i)
+		if err := env.ObserveHTTP(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.ObserveBatchHTTP(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ObserveBlockHTTP(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ObserveBlockDirect(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.PredictHTTP(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatewayBenchEnvBodiesRun(t *testing.T) {
+	env, err := NewGatewayBenchEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	for i := 0; i < ServeBenchPeriod; i++ {
+		if err := env.ObserveHTTP(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.ObserveBatchHTTP(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.PredictHTTP(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportThroughputHelpers(t *testing.T) {
+	// Run as real (tiny) benchmarks so b.Elapsed is meaningful and the
+	// helpers' metric attachment executes.
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+		}
+		ReportThroughput(b)
+		ReportBatchThroughput(b)
+	})
+	if _, ok := r.Extra["ops/s"]; !ok {
+		t.Fatalf("ops/s metric missing: %v", r.Extra)
+	}
+	if _, ok := r.Extra["events/s"]; !ok {
+		t.Fatalf("events/s metric missing: %v", r.Extra)
+	}
+}

@@ -1,0 +1,98 @@
+// Package buildinfo is the single build-identity stamp shared by every
+// binary in the module. A cluster deployment runs many cooperating
+// processes (N mpipredictd backends behind an mpigateway), and skewed
+// builds across them are a classic source of silent divergence — a
+// snapshot format one daemon writes and another misreads, a strategy
+// registered in one binary and unknown to the next. Stamping every
+// binary from one package lets each CLI answer -version and lets the
+// gateway compare its backends' builds at startup instead of discovering
+// the skew from a corrupted migration.
+//
+// Version and Commit are overridable at link time:
+//
+//	go build -ldflags "-X mpipredict/internal/buildinfo.Version=v1.2.0 \
+//	                   -X mpipredict/internal/buildinfo.Commit=abc1234" ./...
+//
+// When they are not set, Commit falls back to the VCS revision Go embeds
+// in module builds (debug.ReadBuildInfo), so even plain `go build`
+// binaries carry a usable identity.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Version is the human-facing release name. "dev" unless overridden at
+// link time.
+var Version = "dev"
+
+// Commit is the source revision the binary was built from. Empty unless
+// overridden at link time; Get falls back to the embedded VCS revision.
+var Commit = ""
+
+// Info is the JSON shape of one binary's build identity, served under
+// the "buildinfo" key on /debug/vars and compared by the gateway's
+// startup uniformity check.
+type Info struct {
+	Version   string `json:"version"`
+	Commit    string `json:"commit"`
+	GoVersion string `json:"go_version"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// String renders the identity the way the CLIs print it for -version.
+func (i Info) String() string {
+	commit := i.Commit
+	if commit == "" {
+		commit = "unknown"
+	}
+	if i.Dirty {
+		commit += "+dirty"
+	}
+	return fmt.Sprintf("%s (commit %s, %s)", i.Version, commit, i.GoVersion)
+}
+
+// Same reports whether two binaries are interchangeable cluster members:
+// identical version and commit. Go toolchain version is deliberately not
+// part of the comparison — rebuilding one backend with a newer toolchain
+// does not change any wire or snapshot format this module defines.
+func (i Info) Same(o Info) bool {
+	return i.Version == o.Version && i.Commit == o.Commit
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns this binary's build identity. The VCS fallback is read
+// once; the result never changes over a process lifetime.
+func Get() Info {
+	once.Do(func() {
+		cached = Info{Version: Version, Commit: Commit, GoVersion: runtime.Version()}
+		if cached.Commit != "" {
+			return
+		}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				cached.Commit = s.Value
+			case "vcs.modified":
+				cached.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return cached
+}
+
+// CLIVersion formats the one-line -version output of a named command.
+func CLIVersion(cmd string) string {
+	return fmt.Sprintf("%s %s", cmd, Get())
+}

@@ -1,0 +1,61 @@
+package buildinfo
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGetIsStableAndPopulated(t *testing.T) {
+	a, b := Get(), Get()
+	if a != b {
+		t.Fatalf("Get is not stable: %+v vs %+v", a, b)
+	}
+	if a.Version == "" || a.GoVersion == "" {
+		t.Fatalf("Get returned empty identity fields: %+v", a)
+	}
+}
+
+func TestStringNeverEmptyFields(t *testing.T) {
+	s := (Info{Version: "dev", GoVersion: "go1.24"}).String()
+	if !strings.Contains(s, "dev") || !strings.Contains(s, "unknown") || !strings.Contains(s, "go1.24") {
+		t.Fatalf("String() = %q", s)
+	}
+	dirty := (Info{Version: "v1", Commit: "abc", GoVersion: "go1.24", Dirty: true}).String()
+	if !strings.Contains(dirty, "abc+dirty") {
+		t.Fatalf("dirty String() = %q", dirty)
+	}
+}
+
+func TestSameIgnoresToolchain(t *testing.T) {
+	a := Info{Version: "v1", Commit: "abc", GoVersion: "go1.24"}
+	b := Info{Version: "v1", Commit: "abc", GoVersion: "go1.25"}
+	if !a.Same(b) {
+		t.Fatal("toolchain-only difference must compare equal")
+	}
+	if a.Same(Info{Version: "v1", Commit: "def", GoVersion: "go1.24"}) {
+		t.Fatal("commit difference must not compare equal")
+	}
+}
+
+func TestInfoJSONShape(t *testing.T) {
+	data, err := json.Marshal(Info{Version: "v1", Commit: "abc", GoVersion: "go1.24"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"version", "commit", "go_version"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("JSON misses %q: %s", k, data)
+		}
+	}
+}
+
+func TestCLIVersionLeadsWithCommand(t *testing.T) {
+	if s := CLIVersion("mpigateway"); !strings.HasPrefix(s, "mpigateway ") {
+		t.Fatalf("CLIVersion = %q", s)
+	}
+}

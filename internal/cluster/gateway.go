@@ -1,0 +1,739 @@
+package cluster
+
+// The gateway: one HTTP front door for a sharded mpipredictd cluster,
+// speaking the exact single-daemon surface (/v1/observe, /v1/predict,
+// /v1/sessions, /healthz, /readyz, /debug/vars) so every existing client
+// — the replay ingester, the CLI, curl — works unchanged against N
+// backends.
+//
+// Keyed requests (observe, predict) route to the shard-map owner of
+// their (tenant, stream) and are forwarded with the same retry discipline
+// the replay client uses: capped jittered exponential backoff through
+// serve.SleepBackoff, honoring Retry-After. Observe bodies are forwarded
+// byte-for-byte — the gateway never re-encodes them — so the per-session
+// seq a client stamped survives the hop and the backend's idempotent
+// dedup keeps working across gateway-level retries.
+//
+// Unkeyed requests (sessions, readyz, debug/vars) fan out to every
+// backend concurrently under a per-backend deadline and aggregate with
+// partial-failure accounting: an unreachable backend marks the response
+// degraded and is reported by name, but the reachable shards' data is
+// still served. A cluster with a dead node answers queries about the
+// live ones — it does not turn one failure into N.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpipredict/internal/buildinfo"
+	"mpipredict/internal/serve"
+)
+
+// DefaultBackendTimeout is the per-backend deadline for one forwarded or
+// fanned-out request attempt when Options.BackendTimeout is zero. Each
+// retry attempt gets a fresh deadline.
+const DefaultBackendTimeout = 5 * time.Second
+
+// maxForwardBody bounds an observe body accepted by the gateway. It is
+// deliberately larger than the backend's own 1 MiB bound (bulk bodies
+// carry many per-key requests in one envelope); each forwarded piece is
+// still subject to the backend's limit.
+const maxForwardBody = 8 << 20
+
+// maxRelayBody bounds how much of a backend response the gateway will
+// buffer for relaying or aggregation.
+const maxRelayBody = 8 << 20
+
+// Options tune the gateway's backend client behaviour. The zero value is
+// ready for production use.
+type Options struct {
+	// Client issues all backend requests. Default: serve.NewReplayClient()
+	// — the same bounded-timeout client the replay ingester trusts.
+	// Wrapping its transport in faultinject.NewTransport chaos-tests the
+	// gateway↔backend hop.
+	Client *http.Client
+	// BackendTimeout is the per-attempt deadline for one backend request.
+	// Default DefaultBackendTimeout.
+	BackendTimeout time.Duration
+	// MaxRetries bounds retries of a keyed forward after a retryable
+	// failure (429/5xx/transport). Default serve.DefaultMaxRetries;
+	// negative disables retries. Fan-out requests are never retried —
+	// partial-failure accounting is their retry story.
+	MaxRetries int
+	// RetryBase is the initial backoff delay. Default serve.DefaultRetryBase.
+	RetryBase time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Client == nil {
+		o.Client = serve.NewReplayClient()
+	}
+	if o.BackendTimeout <= 0 {
+		o.BackendTimeout = DefaultBackendTimeout
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = serve.DefaultMaxRetries
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = serve.DefaultRetryBase
+	}
+	return o
+}
+
+// backendStats is the per-backend health ledger, updated on every
+// forwarded request and published on /debug/vars.
+type backendStats struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	retries   atomic.Int64
+	latencyNs atomic.Int64
+}
+
+func (b *backendStats) view() map[string]interface{} {
+	reqs := b.requests.Load()
+	v := map[string]interface{}{
+		"requests": reqs,
+		"errors":   b.errors.Load(),
+		"retries":  b.retries.Load(),
+	}
+	if reqs > 0 {
+		v["avg_latency_ms"] = float64(b.latencyNs.Load()) / float64(reqs) / 1e6
+	}
+	return v
+}
+
+// Gateway is the cluster front door: an http.Handler routing the
+// single-daemon API surface across the backends of a ShardMap.
+type Gateway struct {
+	shards *ShardMap
+	opts   Options
+	mux    *http.ServeMux
+	vars   *expvar.Map
+	stats  map[string]*backendStats
+	start  time.Time
+
+	forwarded atomic.Int64
+	fanouts   atomic.Int64
+	degraded  atomic.Int64
+}
+
+// NewGateway builds a gateway over the shard map.
+func NewGateway(m *ShardMap, opts Options) *Gateway {
+	g := &Gateway{
+		shards: m,
+		opts:   opts.withDefaults(),
+		mux:    http.NewServeMux(),
+		vars:   new(expvar.Map).Init(),
+		stats:  make(map[string]*backendStats, m.Len()),
+		start:  time.Now(),
+	}
+	for _, b := range m.Backends() {
+		g.stats[b] = &backendStats{}
+	}
+	g.vars.Set("buildinfo", expvar.Func(func() interface{} { return buildinfo.Get() }))
+	g.vars.Set("backends", expvar.Func(func() interface{} { return m.Backends() }))
+	g.vars.Set("forwarded_requests", expvar.Func(func() interface{} { return g.forwarded.Load() }))
+	g.vars.Set("fanout_requests", expvar.Func(func() interface{} { return g.fanouts.Load() }))
+	g.vars.Set("degraded_responses", expvar.Func(func() interface{} { return g.degraded.Load() }))
+	g.vars.Set("uptime_seconds", expvar.Func(func() interface{} {
+		return time.Since(g.start).Seconds()
+	}))
+	g.vars.Set("backend_stats", expvar.Func(func() interface{} {
+		v := make(map[string]interface{}, len(g.stats))
+		for name, st := range g.stats {
+			v[name] = st.view()
+		}
+		return v
+	}))
+	g.mux.HandleFunc("/v1/observe", g.handleObserve)
+	g.mux.HandleFunc("/v1/predict", g.handlePredict)
+	g.mux.HandleFunc("/v1/sessions", g.handleSessions)
+	g.mux.HandleFunc("/healthz", g.handleHealthz)
+	g.mux.HandleFunc("/readyz", g.handleReadyz)
+	g.mux.HandleFunc("/debug/vars", g.handleVars)
+	return g
+}
+
+// ShardMap returns the membership the gateway routes over.
+func (g *Gateway) ShardMap() *ShardMap { return g.shards }
+
+// ServeHTTP implements http.Handler with the same outermost protection
+// the backend server has: a panic anywhere inside 500s the one failing
+// request instead of killing the gateway.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if v := recover(); v != nil {
+			if err, ok := v.(error); ok && err == http.ErrAbortHandler {
+				panic(v)
+			}
+			gwError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	g.mux.ServeHTTP(w, r)
+}
+
+// gwError mirrors the backend's JSON error shape, so clients see one
+// error format whether a daemon or the gateway rejected them.
+func gwError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg, err := json.Marshal(fmt.Sprintf(format, args...))
+	if err != nil {
+		msg = []byte(`"internal error"`)
+	}
+	fmt.Fprintf(w, "{\"error\":%s}\n", msg)
+}
+
+// backendResult is one relayed backend response: status plus the buffered
+// body (already bounded by maxRelayBody).
+type backendResult struct {
+	status int
+	body   []byte
+}
+
+// forward issues one request to a backend with the replay client's retry
+// discipline: per-attempt deadline, retry on 429/5xx/transport failure
+// with capped jittered backoff honoring Retry-After. The body (nil for
+// GET) is re-sent verbatim on every attempt. Safe for observe despite
+// at-least-once delivery: the sequenced-batch dedup on the backend
+// absorbs re-delivery, exactly as it does for the replay client.
+func (g *Gateway) forward(ctx context.Context, backend, method, pathAndQuery string, body []byte, contentType string) (backendResult, error) {
+	st := g.stats[backend]
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		res, retryAfter, err := g.attempt(ctx, backend, method, pathAndQuery, body, contentType, st)
+		if err == nil {
+			retryable := res.status == http.StatusTooManyRequests || res.status >= 500
+			if !retryable {
+				return res, nil
+			}
+			lastErr = fmt.Errorf("%s returned %d: %s", backend, res.status, bytes.TrimSpace(res.body))
+		} else {
+			if ctx.Err() != nil {
+				return backendResult{}, ctx.Err()
+			}
+			lastErr = fmt.Errorf("%s: %w", backend, err)
+		}
+		if attempt >= g.opts.MaxRetries {
+			return backendResult{}, fmt.Errorf("giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		if st != nil {
+			st.retries.Add(1)
+		}
+		if err := serve.SleepBackoff(ctx, g.opts.RetryBase, attempt, retryAfter); err != nil {
+			return backendResult{}, err
+		}
+	}
+}
+
+// attempt issues a single backend request under the per-backend deadline
+// and buffers the response.
+func (g *Gateway) attempt(ctx context.Context, backend, method, pathAndQuery string, body []byte, contentType string, st *backendStats) (backendResult, time.Duration, error) {
+	actx, cancel := context.WithTimeout(ctx, g.opts.BackendTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, backend+pathAndQuery, rd)
+	if err != nil {
+		return backendResult{}, 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if st != nil {
+		st.requests.Add(1)
+	}
+	begin := time.Now()
+	resp, err := g.opts.Client.Do(req)
+	if st != nil {
+		st.latencyNs.Add(time.Since(begin).Nanoseconds())
+	}
+	if err != nil {
+		if st != nil {
+			st.errors.Add(1)
+		}
+		return backendResult{}, 0, err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBody))
+	if err != nil {
+		if st != nil {
+			st.errors.Add(1)
+		}
+		return backendResult{}, 0, fmt.Errorf("reading response: %w", err)
+	}
+	var retryAfter time.Duration
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+		if st != nil {
+			st.errors.Add(1)
+		}
+		if d, ok := serve.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			retryAfter = d
+		}
+	}
+	return backendResult{status: resp.StatusCode, body: buf}, retryAfter, nil
+}
+
+// relay writes a buffered backend response to the client, naming the
+// backend that served it.
+func relay(w http.ResponseWriter, backend string, res backendResult) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Mpipredict-Backend", backend)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// routeProbe is the minimal decode of an observe body needed to route
+// it: the key plus seq for validation. The full body is forwarded raw.
+type routeProbe struct {
+	Tenant string `json:"tenant"`
+	Stream string `json:"stream"`
+}
+
+func (g *Gateway) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		gwError(w, http.StatusMethodNotAllowed, "observe requires POST")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxForwardBody))
+	if err != nil {
+		gwError(w, http.StatusRequestEntityTooLarge, "observe body exceeds %d bytes", maxForwardBody)
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		g.observeBulk(w, r, trimmed)
+		return
+	}
+	var probe routeProbe
+	if err := json.Unmarshal(body, &probe); err != nil {
+		gwError(w, http.StatusBadRequest, "decoding observe request: %v", err)
+		return
+	}
+	if probe.Tenant == "" || probe.Stream == "" {
+		gwError(w, http.StatusBadRequest, "tenant and stream are required")
+		return
+	}
+	g.forwarded.Add(1)
+	backend := g.shards.Owner(probe.Tenant, probe.Stream)
+	res, err := g.forward(r.Context(), backend, http.MethodPost, "/v1/observe", body, "application/json")
+	if err != nil {
+		gwError(w, http.StatusBadGateway, "forwarding observe: %v", err)
+		return
+	}
+	relay(w, backend, res)
+}
+
+// bulkItemResult is one element of the bulk-observe response: the owning
+// backend's verbatim reply, or the delivery error that ate it.
+type bulkItemResult struct {
+	Backend string          `json:"backend"`
+	Status  int             `json:"status,omitempty"`
+	Reply   json.RawMessage `json:"reply,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// observeBulk handles the gateway-only array form of /v1/observe: a JSON
+// array of single-daemon observe bodies with possibly mixed (tenant,
+// stream) keys. The gateway splits the array by owning backend and
+// forwards each piece — per backend strictly in array order, so two
+// batches of the same session can never reorder and sequenced dedup
+// holds; across backends concurrently. The aggregate response reports
+// per-item outcomes and a failed count: one dead backend fails its items,
+// not the whole array.
+func (g *Gateway) observeBulk(w http.ResponseWriter, r *http.Request, body []byte) {
+	var items []json.RawMessage
+	if err := json.Unmarshal(body, &items); err != nil {
+		gwError(w, http.StatusBadRequest, "decoding observe array: %v", err)
+		return
+	}
+	if len(items) == 0 {
+		gwError(w, http.StatusBadRequest, "observe array must not be empty")
+		return
+	}
+	results := make([]bulkItemResult, len(items))
+	perBackend := make(map[string][]int, g.shards.Len())
+	for i, raw := range items {
+		var probe routeProbe
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			results[i] = bulkItemResult{Error: fmt.Sprintf("decoding item %d: %v", i, err)}
+			continue
+		}
+		if probe.Tenant == "" || probe.Stream == "" {
+			results[i] = bulkItemResult{Error: fmt.Sprintf("item %d: tenant and stream are required", i)}
+			continue
+		}
+		backend := g.shards.Owner(probe.Tenant, probe.Stream)
+		results[i].Backend = backend
+		perBackend[backend] = append(perBackend[backend], i)
+	}
+	g.fanouts.Add(1)
+	var wg sync.WaitGroup
+	for backend, idxs := range perBackend {
+		wg.Add(1)
+		go func(backend string, idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				res, err := g.forward(r.Context(), backend, http.MethodPost, "/v1/observe", items[i], "application/json")
+				if err != nil {
+					results[i].Error = err.Error()
+					continue
+				}
+				results[i].Status = res.status
+				results[i].Reply = json.RawMessage(res.body)
+			}
+		}(backend, idxs)
+	}
+	wg.Wait()
+	failed := 0
+	for i := range results {
+		if results[i].Error != "" || (results[i].Status != 0 && results[i].Status != http.StatusOK) {
+			failed++
+		}
+	}
+	status := http.StatusOK
+	if failed == len(results) {
+		status = http.StatusBadGateway
+	}
+	if failed > 0 {
+		g.degraded.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Results []bulkItemResult `json:"results"`
+		Failed  int              `json:"failed"`
+	}{results, failed})
+}
+
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		gwError(w, http.StatusMethodNotAllowed, "predict requires GET")
+		return
+	}
+	q := r.URL.Query()
+	tenant, stream := q.Get("tenant"), q.Get("stream")
+	if tenant == "" || stream == "" {
+		gwError(w, http.StatusBadRequest, "tenant and stream are required")
+		return
+	}
+	g.forwarded.Add(1)
+	backend := g.shards.Owner(tenant, stream)
+	res, err := g.forward(r.Context(), backend, http.MethodGet, "/v1/predict?"+q.Encode(), nil, "")
+	if err != nil {
+		gwError(w, http.StatusBadGateway, "forwarding predict: %v", err)
+		return
+	}
+	relay(w, backend, res)
+}
+
+// ClusterSessionsResponse is the gateway's /v1/sessions body: the merged,
+// globally (tenant, stream)-sorted page across all reachable backends,
+// the single-daemon pagination envelope, plus partial-failure accounting
+// — which backends failed and whether the listing is therefore partial.
+type ClusterSessionsResponse struct {
+	Sessions []serve.SessionInfo `json:"sessions"`
+	Total    int                 `json:"total"`
+	Offset   int                 `json:"offset"`
+	Limit    int                 `json:"limit"`
+	Degraded bool                `json:"degraded"`
+	Errors   map[string]string   `json:"backend_errors,omitempty"`
+}
+
+// fetchSessions pages one backend's full listing up to `want` rows,
+// looping the backend's own limit/offset pagination so a request deeper
+// than one backend page still resolves.
+func (g *Gateway) fetchSessions(ctx context.Context, backend string, want int) ([]serve.SessionInfo, int, error) {
+	var all []serve.SessionInfo
+	offset := 0
+	for {
+		limit := want - len(all)
+		if limit <= 0 {
+			limit = 1
+		}
+		if limit > serve.MaxSessionsLimit {
+			limit = serve.MaxSessionsLimit
+		}
+		q := url.Values{}
+		q.Set("limit", strconv.Itoa(limit))
+		q.Set("offset", strconv.Itoa(offset))
+		res, _, err := g.attempt(ctx, backend, http.MethodGet, "/v1/sessions?"+q.Encode(), nil, "", g.stats[backend])
+		if err != nil {
+			return nil, 0, err
+		}
+		if res.status != http.StatusOK {
+			return nil, 0, fmt.Errorf("sessions returned %d: %s", res.status, bytes.TrimSpace(res.body))
+		}
+		var page serve.SessionsResponse
+		if err := json.Unmarshal(res.body, &page); err != nil {
+			return nil, 0, fmt.Errorf("decoding sessions page: %w", err)
+		}
+		all = append(all, page.Sessions...)
+		offset += len(page.Sessions)
+		if len(all) >= want || offset >= page.Total || len(page.Sessions) == 0 {
+			return all, page.Total, nil
+		}
+	}
+}
+
+func (g *Gateway) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		gwError(w, http.StatusMethodNotAllowed, "sessions requires GET")
+		return
+	}
+	limit, err := gwQueryInt(r, "limit", serve.DefaultSessionsLimit)
+	if err != nil {
+		gwError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if limit == 0 || limit > serve.MaxSessionsLimit {
+		gwError(w, http.StatusBadRequest, "limit must be in 1..%d", serve.MaxSessionsLimit)
+		return
+	}
+	offset, err := gwQueryInt(r, "offset", 0)
+	if err != nil {
+		gwError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g.fanouts.Add(1)
+	// A global page [offset, offset+limit) needs the first offset+limit
+	// rows of every backend: the merge interleaves, so any one backend
+	// could contribute the whole page.
+	want := offset + limit
+	type shardPage struct {
+		backend  string
+		sessions []serve.SessionInfo
+		total    int
+		err      error
+	}
+	pages := make([]shardPage, g.shards.Len())
+	var wg sync.WaitGroup
+	for i, backend := range g.shards.Backends() {
+		wg.Add(1)
+		go func(i int, backend string) {
+			defer wg.Done()
+			s, total, err := g.fetchSessions(r.Context(), backend, want)
+			pages[i] = shardPage{backend: backend, sessions: s, total: total, err: err}
+		}(i, backend)
+	}
+	wg.Wait()
+	resp := ClusterSessionsResponse{
+		Sessions: []serve.SessionInfo{},
+		Offset:   offset,
+		Limit:    limit,
+	}
+	var merged []serve.SessionInfo
+	for _, p := range pages {
+		if p.err != nil {
+			if resp.Errors == nil {
+				resp.Errors = make(map[string]string)
+			}
+			resp.Errors[p.backend] = p.err.Error()
+			resp.Degraded = true
+			continue
+		}
+		merged = append(merged, p.sessions...)
+		resp.Total += p.total
+	}
+	if resp.Degraded {
+		g.degraded.Add(1)
+	}
+	if len(resp.Errors) == g.shards.Len() {
+		gwError(w, http.StatusBadGateway, "no backend reachable: %v", resp.Errors)
+		return
+	}
+	// The backends each return their slice pre-sorted; the merge re-sorts
+	// the concatenation into the same global (tenant, stream) order one
+	// daemon would produce.
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Tenant != merged[j].Tenant {
+			return merged[i].Tenant < merged[j].Tenant
+		}
+		return merged[i].Stream < merged[j].Stream
+	})
+	if offset < len(merged) {
+		end := offset + limit
+		if end > len(merged) {
+			end = len(merged)
+		}
+		resp.Sessions = merged[offset:end]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// gwQueryInt parses an optional non-negative integer query parameter.
+func gwQueryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer", name)
+	}
+	return v, nil
+}
+
+// handleHealthz is the gateway's own liveness — it must answer while
+// every backend is down, or an orchestrator would restart the one
+// component that is still fine.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"backends\":%d,\"uptime_s\":%.1f}\n",
+		g.shards.Len(), time.Since(g.start).Seconds())
+}
+
+// handleReadyz aggregates backend readiness: ready when every backend
+// is, degraded (still 200 — a degraded cluster serves its live shards)
+// when at least one is, 503 only when none are.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type probe struct {
+		backend string
+		ready   bool
+		detail  string
+	}
+	probes := make([]probe, g.shards.Len())
+	var wg sync.WaitGroup
+	for i, backend := range g.shards.Backends() {
+		wg.Add(1)
+		go func(i int, backend string) {
+			defer wg.Done()
+			res, _, err := g.attempt(r.Context(), backend, http.MethodGet, "/readyz", nil, "", g.stats[backend])
+			switch {
+			case err != nil:
+				probes[i] = probe{backend, false, err.Error()}
+			case res.status != http.StatusOK:
+				probes[i] = probe{backend, false, fmt.Sprintf("status %d", res.status)}
+			default:
+				probes[i] = probe{backend, true, "ready"}
+			}
+		}(i, backend)
+	}
+	wg.Wait()
+	ready := 0
+	detail := make(map[string]string, len(probes))
+	for _, p := range probes {
+		if p.ready {
+			ready++
+		}
+		detail[p.backend] = p.detail
+	}
+	status := "ready"
+	code := http.StatusOK
+	switch {
+	case ready == 0:
+		status, code = "unavailable", http.StatusServiceUnavailable
+	case ready < len(probes):
+		status = "degraded"
+		g.degraded.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Status   string            `json:"status"`
+		Ready    int               `json:"ready"`
+		Backends map[string]string `json:"backends"`
+	}{status, ready, detail})
+}
+
+// handleVars publishes the gateway's own metrics plus every backend's
+// /debug/vars verbatim under "backends", with per-backend errors for the
+// unreachable ones — one scrape sees the whole cluster.
+func (g *Gateway) handleVars(w http.ResponseWriter, r *http.Request) {
+	backends := g.shards.Backends()
+	raws := make([]json.RawMessage, len(backends))
+	errs := make([]string, len(backends))
+	var wg sync.WaitGroup
+	for i, backend := range backends {
+		wg.Add(1)
+		go func(i int, backend string) {
+			defer wg.Done()
+			res, _, err := g.attempt(r.Context(), backend, http.MethodGet, "/debug/vars", nil, "", g.stats[backend])
+			switch {
+			case err != nil:
+				errs[i] = err.Error()
+			case res.status != http.StatusOK:
+				errs[i] = fmt.Sprintf("status %d", res.status)
+			case !json.Valid(res.body):
+				errs[i] = "invalid JSON from backend"
+			default:
+				raws[i] = json.RawMessage(res.body)
+			}
+		}(i, backend)
+	}
+	wg.Wait()
+	per := make(map[string]interface{}, len(backends))
+	for i, backend := range backends {
+		if errs[i] != "" {
+			per[backend] = map[string]string{"error": errs[i]}
+			continue
+		}
+		per[backend] = raws[i]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// The gateway's own vars map renders itself; splice the backend map in
+	// as one more key rather than re-encoding the expvar values.
+	own := g.vars.String()
+	backendsJSON, err := json.Marshal(per)
+	if err != nil {
+		gwError(w, http.StatusInternalServerError, "encoding backend vars: %v", err)
+		return
+	}
+	var buf bytes.Buffer
+	buf.WriteString(own[:len(own)-1]) // strip closing brace
+	buf.WriteString(`, "backend_vars": `)
+	buf.Write(backendsJSON)
+	buf.WriteString("}\n")
+	w.Write(buf.Bytes())
+}
+
+// varsBuild is the slice of a backend's /debug/vars the build check needs.
+type varsBuild struct {
+	Buildinfo buildinfo.Info `json:"buildinfo"`
+}
+
+// CheckBuilds asserts every reachable backend runs the same build as the
+// gateway itself. Mixed builds are an error — two daemons disagreeing on
+// the snapshot or wire format corrupt sessions silently, which is far
+// worse than refusing to start. Unreachable backends are reported as
+// warnings, not errors: a cluster must be able to boot its gateway while
+// one node is still starting.
+func (g *Gateway) CheckBuilds(ctx context.Context) (warnings []string, err error) {
+	local := buildinfo.Get()
+	for _, backend := range g.shards.Backends() {
+		res, _, aerr := g.attempt(ctx, backend, http.MethodGet, "/debug/vars", nil, "", g.stats[backend])
+		if aerr != nil {
+			warnings = append(warnings, fmt.Sprintf("%s unreachable for build check: %v", backend, aerr))
+			continue
+		}
+		if res.status != http.StatusOK {
+			warnings = append(warnings, fmt.Sprintf("%s /debug/vars returned %d", backend, res.status))
+			continue
+		}
+		var vb varsBuild
+		if jerr := json.Unmarshal(res.body, &vb); jerr != nil {
+			return warnings, fmt.Errorf("cluster: decoding %s /debug/vars: %w", backend, jerr)
+		}
+		if vb.Buildinfo.Version == "" && vb.Buildinfo.Commit == "" {
+			return warnings, fmt.Errorf("cluster: %s reports no buildinfo (pre-cluster daemon?)", backend)
+		}
+		if !local.Same(vb.Buildinfo) {
+			return warnings, fmt.Errorf("cluster: build mismatch: gateway runs %s, %s runs %s", local, backend, vb.Buildinfo)
+		}
+	}
+	return warnings, nil
+}

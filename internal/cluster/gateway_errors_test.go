@@ -1,0 +1,97 @@
+package cluster
+
+// The gateway's rejection and degraded paths that the happy-path e2e
+// suite never walks: predict validation and dead-owner failures, build
+// checks against broken /debug/vars bodies, and the shard-map accessor.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mpipredict/internal/serve"
+)
+
+func TestGatewayPredictRejections(t *testing.T) {
+	c := newTestCluster(t, 3, serve.Config{}, fastOptions())
+	cases := []struct {
+		name, method, url string
+		wantStatus        int
+	}{
+		{"wrong method", http.MethodPost, "/v1/predict?tenant=a&stream=s", http.StatusMethodNotAllowed},
+		{"missing tenant", http.MethodGet, "/v1/predict?stream=s", http.StatusBadRequest},
+		{"missing stream", http.MethodGet, "/v1/predict?tenant=a", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, c.ts.URL+tc.url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: %d, want %d", tc.name, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func TestGatewayPredictDeadOwnerIs502(t *testing.T) {
+	c := newTestCluster(t, 3, serve.Config{}, fastOptions())
+	owner := c.shards.Owner("app", "r0/physical")
+	c.backends[owner].dead.Store(true)
+	resp, err := http.Get(c.ts.URL + "/v1/predict?tenant=app&stream=r0/physical&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("predict with dead owner: %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestGatewayShardMapAccessor(t *testing.T) {
+	c := newTestCluster(t, 3, serve.Config{}, fastOptions())
+	if got := c.gw.ShardMap(); got == nil || got.Len() != 3 {
+		t.Fatalf("ShardMap() = %v", got)
+	}
+}
+
+func TestCheckBuildsWarnsOnNon200Vars(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no vars here", http.StatusNotFound)
+	}))
+	defer broken.Close()
+	shards, err := NewShardMap([]string{broken.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := NewGateway(shards, fastOptions())
+	warnings, err := gw.CheckBuilds(context.Background())
+	if err != nil {
+		t.Fatalf("non-200 vars must warn, not fail: %v", err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "404") {
+		t.Fatalf("warnings = %v", warnings)
+	}
+}
+
+func TestCheckBuildsRejectsUndecodableVars(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "{not json")
+	}))
+	defer broken.Close()
+	shards, err := NewShardMap([]string{broken.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := NewGateway(shards, fastOptions())
+	if _, err := gw.CheckBuilds(context.Background()); err == nil || !strings.Contains(err.Error(), "decoding") {
+		t.Fatalf("undecodable vars: err=%v", err)
+	}
+}

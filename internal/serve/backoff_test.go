@@ -57,14 +57,14 @@ func TestSleepBackoffHighAttempt(t *testing.T) {
 	defer cancel()
 	base := time.Duration(1)<<62 + 1 // base<<2 = 2⁶⁴+4, wraps to 4 ns
 	start := time.Now()
-	if err := sleepBackoff(ctx, base, 2, 0); err != nil {
+	if err := SleepBackoff(ctx, base, 2, 0); err != nil {
 		t.Fatal(err)
 	}
 	took := time.Since(start)
 	if took < maxRetryBackoff/2-50*time.Millisecond {
-		t.Fatalf("sleepBackoff slept %v, want ≥ %v: the wrapped shift collapsed the backoff", took, maxRetryBackoff/2)
+		t.Fatalf("SleepBackoff slept %v, want ≥ %v: the wrapped shift collapsed the backoff", took, maxRetryBackoff/2)
 	}
 	if took > 3*maxRetryBackoff {
-		t.Fatalf("sleepBackoff slept %v, want ≤ jittered cap %v", took, maxRetryBackoff)
+		t.Fatalf("SleepBackoff slept %v, want ≤ jittered cap %v", took, maxRetryBackoff)
 	}
 }

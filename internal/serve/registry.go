@@ -629,6 +629,30 @@ func (r *Registry) Sessions() []SessionInfo {
 	return out
 }
 
+// SessionsPage returns one window of the canonical (tenant, stream)
+// ordering — the page [offset, offset+limit) — together with the total
+// live session count, so callers can page through a large registry in
+// bounded responses. The full sweep-and-sort still happens per call (the
+// listing is a cold path; sessions move shards never, but keys appear and
+// vanish constantly, so a cached ordering would be stale the moment it
+// was built); only the response is bounded. A non-positive limit or an
+// offset past the end yields an empty page with the true total.
+func (r *Registry) SessionsPage(offset, limit int) ([]SessionInfo, int) {
+	all := r.Sessions()
+	total := len(all)
+	if offset < 0 {
+		offset = 0
+	}
+	if limit <= 0 || offset >= total {
+		return nil, total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	return all[offset:end], total
+}
+
 // Len returns the number of live sessions.
 func (r *Registry) Len() int {
 	n := 0

@@ -270,7 +270,7 @@ func postBatchReliably(ctx context.Context, stats *ReplayStats, opts ReplayOptio
 			return fmt.Errorf("giving up after %d attempts: %w", attempt+1, err)
 		}
 		stats.Retries++
-		if err := sleepBackoff(ctx, opts.RetryBase, attempt, retryAfter); err != nil {
+		if err := SleepBackoff(ctx, opts.RetryBase, attempt, retryAfter); err != nil {
 			return err
 		}
 	}
@@ -304,9 +304,13 @@ func backoffDelay(base time.Duration, attempt int) time.Duration {
 	return base << uint(attempt)
 }
 
-// sleepBackoff waits base·2^attempt (capped, full-jittered, at least
-// retryAfter when the server named one) or until ctx is cancelled.
-func sleepBackoff(ctx context.Context, base time.Duration, attempt int, retryAfter time.Duration) error {
+// SleepBackoff waits base·2^attempt (capped at one second, full-jittered,
+// at least retryAfter when the server named one) or until ctx is
+// cancelled. It is the module's one retry clock: the replay ingester and
+// the cluster gateway's backend forwarding both sleep through it, so every
+// hop of a multi-tier deployment decorrelates its retry storms the same
+// way.
+func SleepBackoff(ctx context.Context, base time.Duration, attempt int, retryAfter time.Duration) error {
 	d := backoffDelay(base, attempt)
 	// Full jitter: uniform in [d/2, d). Decorrelates the retry storms of
 	// many replay clients hammering one recovering server.
@@ -322,6 +326,34 @@ func sleepBackoff(ctx context.Context, base time.Duration, attempt int, retryAft
 	case <-t.C:
 		return nil
 	}
+}
+
+// ParseRetryAfter interprets a Retry-After header value as a wait hint.
+// RFC 9110 allows two forms — delta-seconds and an HTTP-date — and real
+// proxies emit both, so the retry path accepts either: a non-negative
+// integer becomes that many seconds, a parseable HTTP-date becomes the
+// time remaining until it (zero when the date already passed — "retry
+// now" is still a valid hint). Everything else, including negative
+// numbers and garbage, reports ok false and the caller falls back to its
+// own backoff schedule; a malformed header must never stall or break a
+// retry loop.
+func ParseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
 }
 
 // observeReply is the subset of the observe response the replay needs.
@@ -354,8 +386,8 @@ func postObserveColumns(ctx context.Context, client *http.Client, baseURL, tenan
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		statusErr := fmt.Errorf("observe returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
-			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
-				retryAfter = time.Duration(secs) * time.Second
+			if d, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				retryAfter = d
 			}
 			return false, retryAfter, &retryableError{statusErr}
 		}

@@ -1,0 +1,167 @@
+package serve
+
+// The /v1/restore endpoint (the receiving half of a cluster session
+// migration) and the /v1/sessions pagination envelope.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// populateSessions feeds n sequenced single-event sessions and returns
+// their canonical snapshot.
+func populateSessions(t *testing.T, reg *Registry, n int) []SessionSnapshot {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		tenant := fmt.Sprintf("app.%02d", i%4)
+		stream := fmt.Sprintf("r%02d/physical", i)
+		if _, _, err := reg.ObserveBlockSeq(tenant, stream, "", 1, []int64{int64(i)}, []int64{64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg.SnapshotSessions()
+}
+
+func TestServerRestoreRoundTrip(t *testing.T) {
+	source := NewRegistry(Config{})
+	sessions := populateSessions(t, source, 7)
+	var body bytes.Buffer
+	if err := WriteSnapshot(&body, sessions); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(NewRegistry(Config{}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/restore", "application/octet-stream", bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack struct {
+		Restored int `json:"restored"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || ack.Restored != 7 {
+		t.Fatalf("restore: status %d restored %d, want 200/7", resp.StatusCode, ack.Restored)
+	}
+	// The restored registry checkpoints byte-identically to the source.
+	var got bytes.Buffer
+	if err := WriteSnapshot(&got, srv.Registry().SnapshotSessions()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), body.Bytes()) {
+		t.Fatal("restored state is not byte-identical to the uploaded snapshot")
+	}
+}
+
+func TestServerRestoreRejectsCorruptAndWrongMethod(t *testing.T) {
+	srv := NewServer(NewRegistry(Config{}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/restore", "application/octet-stream", strings.NewReader("not a snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt restore: %d, want 400", resp.StatusCode)
+	}
+	if srv.Registry().Len() != 0 {
+		t.Fatal("corrupt upload restored sessions")
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/restore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET restore: %d, want 405", resp.StatusCode)
+	}
+
+	// A declared oversized body gets the honest 413 before any read.
+	// (Handed to the handler directly: a real client transport refuses to
+	// send a ContentLength that disagrees with the body.)
+	req := httptest.NewRequest(http.MethodPost, "/v1/restore", strings.NewReader("x"))
+	req.ContentLength = maxRestoreBody + 1
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized restore: %d, want 413", rec.Code)
+	}
+}
+
+func TestServerSessionsPagination(t *testing.T) {
+	reg := NewRegistry(Config{})
+	populateSessions(t, reg, 9)
+	srv := NewServer(reg)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func(query string) SessionsResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/sessions" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sessions%s: %s", query, resp.Status)
+		}
+		var sr SessionsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	full := get("")
+	if full.Total != 9 || len(full.Sessions) != 9 || full.Limit != DefaultSessionsLimit || full.Offset != 0 {
+		t.Fatalf("default page: total=%d len=%d limit=%d offset=%d", full.Total, len(full.Sessions), full.Limit, full.Offset)
+	}
+	// Pages of 4 reassemble the full listing in order.
+	var paged []SessionInfo
+	for off := 0; off < 9; off += 4 {
+		page := get(fmt.Sprintf("?limit=4&offset=%d", off))
+		if page.Total != 9 || page.Offset != off || page.Limit != 4 {
+			t.Fatalf("page at %d: %+v", off, page)
+		}
+		wantLen := 4
+		if off+4 > 9 {
+			wantLen = 9 - off
+		}
+		if len(page.Sessions) != wantLen {
+			t.Fatalf("page at %d has %d rows, want %d", off, len(page.Sessions), wantLen)
+		}
+		paged = append(paged, page.Sessions...)
+	}
+	for i := range paged {
+		if paged[i].Tenant != full.Sessions[i].Tenant || paged[i].Stream != full.Sessions[i].Stream {
+			t.Fatalf("paged[%d] = %s/%s, want %s/%s", i, paged[i].Tenant, paged[i].Stream, full.Sessions[i].Tenant, full.Sessions[i].Stream)
+		}
+	}
+	// Beyond the end: empty sessions array (JSON [], not null), true total.
+	tail := get("?offset=100")
+	if tail.Total != 9 || tail.Sessions == nil || len(tail.Sessions) != 0 {
+		t.Fatalf("tail page: %+v", tail)
+	}
+	// Invalid parameters are 400s.
+	for _, q := range []string{"?limit=0", "?limit=-2", "?limit=abc", fmt.Sprintf("?limit=%d", MaxSessionsLimit+1), "?offset=-1", "?offset=x"} {
+		resp, err := http.Get(ts.URL + "/v1/sessions" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("sessions%s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpipredict/internal/buildinfo"
 	"mpipredict/internal/strategy"
 )
 
@@ -49,6 +50,24 @@ const DefaultHorizon = 5
 // enough for any sane batch while keeping a misbehaving client from
 // buffering without limit.
 const maxObserveBody = 1 << 20
+
+// maxRestoreBody bounds a /v1/restore snapshot upload (64 MiB). Restores
+// are rare administrative operations — a session migration lands here —
+// so the bound is generous, but it still exists: restore is the one
+// endpoint that legitimately carries megabytes, which makes it the one a
+// misbehaving client would pick to exhaust memory through.
+const maxRestoreBody = 1 << 26
+
+// DefaultSessionsLimit is the page size of /v1/sessions when the query
+// names none. The listing used to be unbounded, which is fine for one
+// daemon holding a handful of replayed sessions and pathological for a
+// cluster gateway fanning the listing out across N backends each holding
+// tens of thousands — the default keeps any single response bounded
+// while limit/offset let a caller page through everything.
+const DefaultSessionsLimit = 1000
+
+// MaxSessionsLimit caps an explicit limit parameter.
+const MaxSessionsLimit = 10000
 
 // MaxKeyLen bounds tenant and stream names accepted by the API. It is
 // far below the snapshot format's string limit, so every session the
@@ -199,9 +218,14 @@ func NewServerWith(reg *Registry, opts ServerOptions) *Server {
 	s.vars.Set("uptime_seconds", expvar.Func(func() interface{} {
 		return time.Since(s.start).Seconds()
 	}))
+	// The build identity, so a cluster gateway (or an operator with curl)
+	// can check that every backend runs the same binary before trusting
+	// them to interpret snapshots and wire formats identically.
+	s.vars.Set("buildinfo", expvar.Func(func() interface{} { return buildinfo.Get() }))
 	s.mux.HandleFunc("/v1/observe", s.handleObserve)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("/v1/restore", s.handleRestore)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
@@ -434,19 +458,94 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// SessionsResponse is the GET /v1/sessions body: one bounded page of the
+// canonical (tenant, stream)-sorted listing plus enough envelope (total,
+// offset, limit) for a caller — or a cluster gateway merging N of these —
+// to page through the rest.
+type SessionsResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+	Total    int           `json:"total"`
+	Offset   int           `json:"offset"`
+	Limit    int           `json:"limit"`
+}
+
+// queryInt parses an optional non-negative integer query parameter,
+// returning def when absent.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer", name)
+	}
+	return v, nil
+}
+
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "sessions requires GET")
 		return
 	}
-	sessions := s.reg.Sessions()
-	if sessions == nil {
-		sessions = []SessionInfo{}
+	limit, err := queryInt(r, "limit", DefaultSessionsLimit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if limit == 0 || limit > MaxSessionsLimit {
+		writeError(w, http.StatusBadRequest, "limit must be in 1..%d", MaxSessionsLimit)
+		return
+	}
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	page, total := s.reg.SessionsPage(offset, limit)
+	if page == nil {
+		page = []SessionInfo{}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
-		Sessions []SessionInfo `json:"sessions"`
-	}{sessions})
+	json.NewEncoder(w).Encode(SessionsResponse{
+		Sessions: page,
+		Total:    total,
+		Offset:   offset,
+		Limit:    limit,
+	})
+}
+
+// handleRestore ingests a predictor snapshot stream (the .mps format of
+// snapshot.go) and restores its sessions into the live registry,
+// replacing same-key sessions. It is the receiving half of a cluster
+// session migration: a drained backend's checkpoint is partitioned by
+// the new shard map and each part is POSTed here on its new owner. The
+// whole body is validated — framing, CRC trailer and per-strategy state
+// — before any session is touched, so a corrupt upload restores nothing
+// rather than half of itself.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "restore requires POST")
+		return
+	}
+	// The declared length gives the honest 413 up front; MaxBytesReader
+	// still bounds chunked uploads that declare nothing (their overrun
+	// surfaces as a decode failure, which is still a refusal).
+	if r.ContentLength > maxRestoreBody {
+		writeError(w, http.StatusRequestEntityTooLarge, "restore body exceeds %d bytes", maxRestoreBody)
+		return
+	}
+	sessions, err := ReadSnapshot(http.MaxBytesReader(w, r.Body, maxRestoreBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding snapshot: %v", err)
+		return
+	}
+	if err := s.reg.RestoreSessions(sessions); err != nil {
+		writeError(w, http.StatusBadRequest, "restoring sessions: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"restored\":%d}\n", len(sessions))
 }
 
 // handleHealthz is pure liveness: it answers ok for as long as the

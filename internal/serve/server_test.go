@@ -183,8 +183,9 @@ func TestServerSessionsListing(t *testing.T) {
 func TestServerSessionsEmptyListIsJSON(t *testing.T) {
 	_, ts := newTestServer(t)
 	_, out := get(t, ts.URL+"/v1/sessions")
-	if strings.TrimSpace(out) != `{"sessions":[]}` {
-		t.Fatalf("empty listing = %q, want an empty JSON array", out)
+	want := fmt.Sprintf(`{"sessions":[],"total":0,"offset":0,"limit":%d}`, DefaultSessionsLimit)
+	if strings.TrimSpace(out) != want {
+		t.Fatalf("empty listing = %q, want %q", out, want)
 	}
 }
 

@@ -30,6 +30,7 @@ package mpipredict
 import (
 	"context"
 
+	"mpipredict/internal/cluster"
 	"mpipredict/internal/core"
 	"mpipredict/internal/evalx"
 	"mpipredict/internal/predictor"
@@ -155,6 +156,20 @@ type (
 	ReplayOptions = serve.ReplayOptions
 	// ReplayStats summarise one trace replay.
 	ReplayStats = serve.ReplayStats
+)
+
+// Clustering types (the sharded serving tier behind cmd/mpigateway).
+type (
+	// ShardMap is an immutable rendezvous-hash assignment of
+	// (tenant, stream) session keys to backend daemons.
+	ShardMap = cluster.ShardMap
+	// ClusterGateway serves the daemon HTTP surface over a fleet of
+	// backends, routing keyed requests to their shard owner and fanning
+	// unkeyed queries out with partial-failure accounting.
+	ClusterGateway = cluster.Gateway
+	// ClusterOptions tune the gateway's backend client: per-attempt
+	// deadline, retry budget and backoff base.
+	ClusterOptions = cluster.Options
 )
 
 // Streaming event-pipeline types (internal/stream): the batched
@@ -397,6 +412,29 @@ func NewServeRegistry(cfg ServeConfig) *ServeRegistry { return serve.NewRegistry
 // NewServeServer wraps a registry in the service's HTTP/JSON API
 // (observe, predict, sessions, healthz, expvar metrics).
 func NewServeServer(reg *ServeRegistry) *ServeServer { return serve.NewServer(reg) }
+
+// NewShardMap builds the rendezvous-hash shard map over the given
+// backend base URLs (order-insensitive; duplicates rejected).
+func NewShardMap(backends []string) (*ShardMap, error) { return cluster.NewShardMap(backends) }
+
+// NewClusterGateway wraps a shard map in the cluster's HTTP front door —
+// the handler cmd/mpigateway serves.
+func NewClusterGateway(shards *ShardMap, opts ClusterOptions) *ClusterGateway {
+	return cluster.NewGateway(shards, opts)
+}
+
+// PartitionSessionSnapshot splits a single daemon's session snapshot by
+// shard ownership; MergeSessionSnapshots is its inverse, recombining
+// per-backend snapshots into one canonically ordered set.
+func PartitionSessionSnapshot(sessions []SessionSnapshot, m *ShardMap) map[string][]SessionSnapshot {
+	return cluster.PartitionSnapshot(sessions, m)
+}
+
+// MergeSessionSnapshots recombines per-backend session snapshots into
+// one canonically ordered set.
+func MergeSessionSnapshots(parts ...[]SessionSnapshot) []SessionSnapshot {
+	return cluster.MergeSnapshots(parts...)
+}
 
 // SaveSessionSnapshots writes session predictor states to a versioned,
 // checksummed snapshot file (atomic replace); LoadSessionSnapshots reads
