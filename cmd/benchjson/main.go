@@ -201,6 +201,51 @@ func benchmarks() []entry {
 			}
 			benchdefs.ReportBatchThroughput(b)
 		}},
+		{"serve-observe-block-markov1", false, func(b *testing.B) {
+			// The HTTP twin of wire-observe-block: same columnar block,
+			// same cheap model, so the pair isolates transport cost.
+			env := benchdefs.NewServeBenchEnvFor(benchdefs.WireBenchStrategy)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.ObserveBlockHTTP(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportBatchThroughput(b)
+		}},
+		{"wire-observe-block", false, func(b *testing.B) {
+			env, err := benchdefs.NewWireBenchEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.ObserveBlockWire(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Drain inside the measured interval: every one of the b.N
+			// pipelined blocks must be acknowledged before the clock stops.
+			if err := env.FlushObserves(); err != nil {
+				b.Fatal(err)
+			}
+			benchdefs.ReportBatchThroughput(b)
+		}},
+		{"wire-predict", false, func(b *testing.B) {
+			env, err := benchdefs.NewWireBenchEnv()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.PredictWire(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportThroughput(b)
+		}},
 		{"gateway-observe", false, func(b *testing.B) {
 			env, err := benchdefs.NewGatewayBenchEnv()
 			if err != nil {

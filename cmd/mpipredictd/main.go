@@ -12,6 +12,8 @@
 //	mpipredictd -addr 127.0.0.1:8600 -predictor meta              # adaptive routing among all strategies
 //	mpipredictd -replay testdata/corpus/bt.4.mpt                  # serve and self-load
 //	mpipredictd -replay testdata/corpus/bt.4.mpt -target http://127.0.0.1:8600
+//	mpipredictd -addr 127.0.0.1:8600 -listen-wire 127.0.0.1:8601  # also serve the binary wire protocol
+//	mpipredictd -loadgen 1000000 -target http://127.0.0.1:8600    # drive 1M synthetic events, report events/sec
 //
 // Each session runs one prediction strategy (internal/strategy), chosen
 // by the observe request's "predictor" field at session creation and
@@ -25,8 +27,18 @@
 // With -target, the daemon acts as a replay client instead: it feeds the
 // trace through the target daemon's observe API (load generation /
 // corpus ingestion) and exits. Without -target but with -replay, it
-// starts serving, replays the trace into itself over loopback HTTP, and
+// starts serving, replays the trace into itself over loopback, and
 // keeps serving.
+//
+// -listen-wire adds the binary wire protocol (internal/wire) beside the
+// HTTP listener, sharing the same registry, readiness gates and
+// admission limits; the address is advertised on /healthz so replay
+// clients auto-negotiate it. -transport pins a replay or loadgen client
+// to "http" or "wire" ("auto", the default, probes and falls back).
+// -loadgen with -target switches to load-generator mode: it drives the
+// given number of synthetic events at the target across
+// -loadgen-conns connections and -loadgen-sessions sessions, reports
+// the achieved events/sec, and exits.
 //
 // The API is documented in the README; briefly: POST /v1/observe ingests
 // batched (sender, size) events for a (tenant, stream) session,
@@ -90,9 +102,16 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	maxSessions := fset.Int("max-sessions", 65536, "max live sessions before LRU eviction")
 	idleTTL := fset.Duration("idle-ttl", serve.DefaultIdleTTL, "evict sessions idle this long (negative disables)")
 	sweepEvery := fset.Duration("sweep-interval", time.Minute, "how often to sweep idle sessions")
+	listenWire := fset.String("listen-wire", "", "also serve the binary wire protocol on this address (host:port; advertised on /healthz for auto-negotiation)")
 	replayPath := fset.String("replay", "", "feed this trace file (.mpt or JSONL) through the observe API")
-	target := fset.String("target", "", "with -replay: send to this daemon URL and exit instead of serving")
+	target := fset.String("target", "", "with -replay or -loadgen: send to this daemon URL (or wire://host:port) and exit instead of serving")
 	batch := fset.Int("replay-batch", 64, "events per observe request during replay")
+	transport := fset.String("transport", "", "replay/loadgen transport: auto (probe /healthz and prefer wire; default), http, or wire")
+	loadgen := fset.Int64("loadgen", 0, "with -target: drive this many synthetic events at the target, report events/sec, and exit")
+	loadgenSessions := fset.Int("loadgen-sessions", 64, "with -loadgen: distinct sessions driven")
+	loadgenConns := fset.Int("loadgen-conns", 1, "with -loadgen: parallel connections")
+	loadgenPredictor := fset.String("loadgen-predictor", "", "with -loadgen: strategy for generated sessions (default markov1, cheap enough to measure the protocol; use dpd to measure model-bound ingest)")
+	loadgenTenant := fset.String("loadgen-tenant", "", "with -loadgen: tenant for generated sessions (default loadgen; repeated runs against one daemon need distinct tenants, or their sequenced batches dedup as duplicates)")
 	drainTimeout := fset.Duration("drain-timeout", 10*time.Second, "how long a shutdown waits for in-flight requests before cutting them off")
 	chaosSpec := fset.String("chaos", "", "TESTING ONLY: inject faults into every served request, e.g. err=0.05,reset=0.05,latency=0.2:2ms,seed=42")
 	versionFlag := fset.Bool("version", false, "print version and exit")
@@ -106,20 +125,47 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	if fset.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fset.Args())
 	}
+	if *loadgen < 0 {
+		return fmt.Errorf("-loadgen must be positive")
+	}
+	if *loadgen > 0 && *replayPath != "" {
+		return fmt.Errorf("-loadgen and -replay are both client workloads; pick one")
+	}
+	if *loadgen > 0 && *target == "" {
+		return fmt.Errorf("-loadgen requires -target (it measures a running daemon, not itself)")
+	}
 	if *replayPath == "" {
-		if *target != "" {
-			return fmt.Errorf("-target requires -replay")
+		if *target != "" && *loadgen == 0 {
+			return fmt.Errorf("-target requires -replay or -loadgen")
 		}
 		if set := cliutil.SetFlags(fset, "replay-batch"); len(set) > 0 {
 			return fmt.Errorf("%v has no effect without -replay; drop it", set)
 		}
 	}
+	if *loadgen == 0 {
+		if set := cliutil.SetFlags(fset, "loadgen-sessions", "loadgen-conns", "loadgen-predictor", "loadgen-tenant"); len(set) > 0 {
+			return fmt.Errorf("%v have no effect without -loadgen; drop them", set)
+		}
+	}
+	if *replayPath == "" && *loadgen == 0 {
+		if set := cliutil.SetFlags(fset, "transport"); len(set) > 0 {
+			return fmt.Errorf("%v only affects replay and loadgen clients; drop it", set)
+		}
+	}
+	switch *transport {
+	case "", serve.TransportAuto, serve.TransportHTTP, serve.TransportWire:
+	default:
+		return fmt.Errorf("unknown -transport %q (want %s, %s or %s)", *transport, serve.TransportAuto, serve.TransportHTTP, serve.TransportWire)
+	}
 	if *target != "" {
 		// Client mode runs no server; silently ignoring server knobs would
 		// let the user believe they took effect.
-		if set := cliutil.SetFlags(fset, "addr", "snapshot", "snapshot-interval", "shards", "predictor", "max-sessions", "idle-ttl", "sweep-interval", "drain-timeout", "chaos"); len(set) > 0 {
+		if set := cliutil.SetFlags(fset, "addr", "snapshot", "snapshot-interval", "shards", "predictor", "max-sessions", "idle-ttl", "sweep-interval", "drain-timeout", "chaos", "listen-wire"); len(set) > 0 {
 			return fmt.Errorf("%v only affect the server and are ignored with -target; drop them", set)
 		}
+	}
+	if *loadgenPredictor != "" && !strategy.Known(*loadgenPredictor) {
+		return fmt.Errorf("unknown -loadgen-predictor %q (known: %v)", *loadgenPredictor, strategy.Names())
 	}
 	var chaos faultinject.Config
 	if *chaosSpec != "" {
@@ -151,8 +197,29 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			return err
 		}
 	}
+	// The daemon's clients negotiate by default; "" here means auto, while
+	// library callers of ReplayOptions keep the probe-free HTTP default.
+	clientTransport := *transport
+	if clientTransport == "" {
+		clientTransport = serve.TransportAuto
+	}
+	if *loadgen > 0 {
+		stats, err := serve.LoadGen(context.Background(), *target, serve.LoadGenOptions{
+			Events:    *loadgen,
+			Tenant:    *loadgenTenant,
+			Sessions:  *loadgenSessions,
+			Conns:     *loadgenConns,
+			Predictor: *loadgenPredictor,
+			Transport: clientTransport,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "mpipredictd: %s\n", stats)
+		return nil
+	}
 	if *target != "" {
-		return runReplayClient(context.Background(), *target, *replayPath, *batch, stdout)
+		return runReplayClient(context.Background(), *target, *replayPath, *batch, clientTransport, stdout)
 	}
 
 	reg := serve.NewRegistry(serve.Config{
@@ -207,6 +274,25 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 		onListen(bound)
 	}
 
+	// The optional binary wire listener binds before the HTTP server
+	// starts answering /healthz, so a probe never sees a half-advertised
+	// daemon. Serve() itself publishes the address for advertisement.
+	var wireSrv *serve.WireServer
+	wireErr := make(chan error, 1)
+	if *listenWire != "" {
+		wln, err := net.Listen("tcp", *listenWire)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		if chaos.Enabled() {
+			wln = faultinject.NewListener(chaos, wln)
+		}
+		fmt.Fprintf(stdout, "mpipredictd: wire protocol on %s\n", wln.Addr())
+		wireSrv = serve.NewWireServer(srv)
+		go func() { wireErr <- wireSrv.Serve(wln) }()
+	}
+
 	var handler http.Handler = srv
 	if chaos.Enabled() {
 		fmt.Fprintf(stderr, "mpipredictd: CHAOS MODE: injecting faults into every request (%s)\n", *chaosSpec)
@@ -228,7 +314,7 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
 	if *replayPath != "" {
-		stats, err := replayFile(context.Background(), "http://"+bound, *replayPath, *batch)
+		stats, err := replayFile(context.Background(), "http://"+bound, *replayPath, *batch, clientTransport)
 		if err != nil {
 			httpSrv.Close()
 			return err
@@ -283,6 +369,20 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			fmt.Fprintf(stdout, "mpipredictd: %v, draining\n", sig)
 			srv.SetDraining()
 			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			// The wire listener drains first (its clients fall back to HTTP
+			// or retry elsewhere); connections idling past the deadline are
+			// cut off, like HTTP's Shutdown-then-Close. Both drains finish
+			// before the checkpoint reads the then-quiescent registry.
+			if wireSrv != nil {
+				wireDone := make(chan struct{})
+				go func() { wireSrv.Shutdown(); close(wireDone) }()
+				select {
+				case <-wireDone:
+				case <-ctx.Done():
+					wireSrv.Close()
+					<-wireDone
+				}
+			}
 			err := httpSrv.Shutdown(ctx)
 			cancel()
 			if cerr := checkpoint(); cerr != nil {
@@ -291,6 +391,8 @@ func run(args []string, stdout, stderr io.Writer, sigs <-chan os.Signal) error {
 			fmt.Fprintf(stdout, "mpipredictd: drained, exiting\n")
 			return err
 		case err := <-serveErr:
+			return err
+		case err := <-wireErr:
 			return err
 		case <-sweep.C:
 			if n := reg.SweepIdle(); n > 0 {
@@ -328,19 +430,19 @@ func validateTraceFile(path string) error {
 
 // replayFile streams a trace file through a daemon's observe API as
 // columnar blocks, in constant memory.
-func replayFile(ctx context.Context, target, path string, batch int) (serve.ReplayStats, error) {
+func replayFile(ctx context.Context, target, path string, batch int, transport string) (serve.ReplayStats, error) {
 	src, err := stream.OpenFile(path)
 	if err != nil {
 		return serve.ReplayStats{}, err
 	}
 	defer src.Close()
-	return serve.ReplaySource(ctx, target, src, serve.ReplayOptions{BatchSize: batch})
+	return serve.ReplaySource(ctx, target, src, serve.ReplayOptions{BatchSize: batch, Transport: transport})
 }
 
 // runReplayClient is client mode: push the trace into a running daemon
 // and report throughput.
-func runReplayClient(ctx context.Context, target, path string, batch int, stdout io.Writer) error {
-	stats, err := replayFile(ctx, target, path, batch)
+func runReplayClient(ctx context.Context, target, path string, batch int, transport string, stdout io.Writer) error {
+	stats, err := replayFile(ctx, target, path, batch, transport)
 	if err != nil {
 		return err
 	}

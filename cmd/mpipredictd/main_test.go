@@ -125,6 +125,19 @@ func predict(t *testing.T, baseURL, tenant, stream string, k int) (predictResult
 func observeOne(t *testing.T, baseURL, tenant, stream string, sender, size int64) {
 	t.Helper()
 	body := fmt.Sprintf(`{"tenant":"%s","stream":"%s","events":[{"sender":%d,"size":%d}]}`, tenant, stream, sender, size)
+	postObserve(t, baseURL, body)
+}
+
+// observeSeq is observeOne with a batch sequence number, for parity
+// with sequenced wire deliveries.
+func observeSeq(t *testing.T, baseURL, tenant, stream string, seq, sender, size int64) {
+	t.Helper()
+	body := fmt.Sprintf(`{"tenant":"%s","stream":"%s","seq":%d,"senders":[%d],"sizes":[%d]}`, tenant, stream, seq, sender, size)
+	postObserve(t, baseURL, body)
+}
+
+func postObserve(t *testing.T, baseURL, body string) {
+	t.Helper()
 	resp, err := http.Post(baseURL+"/v1/observe", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)

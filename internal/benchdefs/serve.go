@@ -45,7 +45,16 @@ type ServeBenchEnv struct {
 // NewServeBenchEnv builds the environment and warms the session past the
 // locking transient, so benchmarks measure the locked steady state.
 func NewServeBenchEnv() *ServeBenchEnv {
-	reg := serve.NewRegistry(serve.Config{})
+	return NewServeBenchEnvFor("")
+}
+
+// NewServeBenchEnvFor is NewServeBenchEnv with an explicit default
+// prediction strategy ("" = the registry default, dpd). The wire-vs-HTTP
+// comparison benchmarks pin a cheap strategy so they measure protocol
+// cost rather than model cost; NewServeBenchEnvFor(strategy) provides
+// the matching HTTP twin.
+func NewServeBenchEnvFor(strategy string) *ServeBenchEnv {
+	reg := serve.NewRegistry(serve.Config{Strategy: strategy})
 	env := &ServeBenchEnv{
 		Registry:   reg,
 		Handler:    serve.NewServer(reg),

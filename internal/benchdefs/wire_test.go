@@ -1,0 +1,47 @@
+package benchdefs
+
+// Smoke the wire benchmark environment the same way serve_bench_test.go
+// smokes the HTTP bodies: everything benchjson records must run clean
+// under `go test`, with a test naming what broke when it does not.
+
+import "testing"
+
+func TestWireBenchEnvBodiesRun(t *testing.T) {
+	env, err := NewWireBenchEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	before := env.Registry.Stats().Events
+	blocks := 3 * 64 / ServeBenchBatch
+	for i := 0; i < blocks; i++ {
+		if err := env.ObserveBlockWire(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.FlushObserves(); err != nil {
+		t.Fatal(err)
+	}
+	got := env.Registry.Stats().Events - before
+	if got != int64(blocks*ServeBenchBatch) {
+		t.Fatalf("wire observe delivered %d events, want %d", got, blocks*ServeBenchBatch)
+	}
+
+	// More predict calls than the pipeline depth, so the steady state
+	// (one send, one receive per call) is exercised, not just the fill.
+	for i := 0; i < wirePredictDepth+8; i++ {
+		if err := env.PredictWire(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The markov1 HTTP twin the snapshots compare against must run too.
+	twin := NewServeBenchEnvFor(WireBenchStrategy)
+	if err := twin.ObserveBlockHTTP(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.PredictHTTP(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -16,6 +17,7 @@ import (
 
 	"mpipredict/internal/buildinfo"
 	"mpipredict/internal/serve"
+	"mpipredict/internal/wire"
 )
 
 // testBackend is one in-process daemon: a real serve.Server over a real
@@ -595,6 +597,70 @@ func TestGatewayVarsAggregateBackends(t *testing.T) {
 	}
 	if len(vars.BackendStats) != 2 {
 		t.Fatalf("backend_stats has %d entries, want 2", len(vars.BackendStats))
+	}
+}
+
+// TestGatewayVarsSpliceWireComposite: a backend serving the binary wire
+// protocol exports a "wire" counter composite on its /debug/vars, and
+// the gateway's verbatim splice must carry it through backend_vars
+// unchanged — operators watching the front door see the wire traffic of
+// every node without scraping backends directly.
+func TestGatewayVarsSpliceWireComposite(t *testing.T) {
+	c := newTestCluster(t, 2, serve.Config{}, fastOptions())
+
+	// Attach a live wire listener to one backend and feed it one block.
+	var wired *testBackend
+	var wiredURL string
+	for url, b := range c.backends {
+		wired, wiredURL = b, url
+		break
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := serve.NewWireServer(wired.srv)
+	go ws.Serve(ln)
+	defer ws.Close()
+
+	ctx := context.Background()
+	wc, err := wire.Dial(ctx, ln.Addr().String(), wire.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	if err := wc.ObserveBlock(ctx, "wt", "ws", "", 1, []int64{1, 2}, []int64{10, 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(c.ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars struct {
+		BackendVars map[string]struct {
+			Wire map[string]int64 `json:"wire"`
+		} `json:"backend_vars"`
+	}
+	if err := json.Unmarshal(buf, &vars); err != nil {
+		t.Fatalf("gateway vars not valid JSON: %v\n%s", err, buf)
+	}
+	wv := vars.BackendVars[wiredURL].Wire
+	if wv == nil {
+		t.Fatalf("wire composite missing from spliced backend vars: %s", buf)
+	}
+	if wv["connections_total"] < 1 || wv["observe_frames"] < 1 {
+		t.Fatalf("wire composite did not ride through the splice intact: %v", wv)
+	}
+	for url, bv := range vars.BackendVars {
+		if url != wiredURL && bv.Wire != nil {
+			t.Fatalf("wireless backend %s grew a wire composite: %v", url, bv.Wire)
+		}
 	}
 }
 

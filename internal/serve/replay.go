@@ -83,14 +83,34 @@ type ReplayOptions struct {
 	MaxRetries int
 	// RetryBase is the initial backoff delay. Default DefaultRetryBase.
 	RetryBase time.Duration
+	// Transport selects the delivery protocol. "auto" probes the
+	// target's /healthz for an advertised binary wire listener and uses
+	// it when present, falling back to HTTP; "wire" requires the wire
+	// listener (and accepts a bare "wire://host:port" target); "http"
+	// forces HTTP/JSON. The default "" speaks HTTP — except for a
+	// "wire://" target, which is inherently wire — so existing callers
+	// see no extra probe traffic; the daemon's -transport flag defaults
+	// to "auto".
+	Transport string
+	// WireWindow is the wire transport's pipeline depth in unacked
+	// observe frames. Default wire.DefaultWindow.
+	WireWindow int
 }
+
+// Transport values for ReplayOptions.Transport.
+const (
+	TransportAuto = "auto"
+	TransportHTTP = "http"
+	TransportWire = "wire"
+)
 
 // ReplayStats summarize one replay.
 type ReplayStats struct {
 	Tenant     string
+	Transport  string        // delivery protocol actually used ("http" or "wire")
 	Sessions   int           // sessions fed (one per traced receiver and level)
 	Events     int64         // events delivered (including duplicate-acked retries)
-	Requests   int64         // observe requests issued, retries included
+	Requests   int64         // observe requests/frames issued, retries included
 	Retries    int64         // re-deliveries after a retryable failure
 	Duplicates int64         // batches the server acked as already applied
 	Duration   time.Duration // wall-clock time of the whole replay
@@ -106,8 +126,12 @@ func (s ReplayStats) EventsPerSec() float64 {
 
 // String renders the stats the way the daemon reports them.
 func (s ReplayStats) String() string {
-	return fmt.Sprintf("tenant=%s sessions=%d events=%d requests=%d retries=%d duplicates=%d duration=%s throughput=%.0f events/s",
-		s.Tenant, s.Sessions, s.Events, s.Requests, s.Retries, s.Duplicates, s.Duration.Round(time.Millisecond), s.EventsPerSec())
+	transport := s.Transport
+	if transport == "" {
+		transport = TransportHTTP
+	}
+	return fmt.Sprintf("tenant=%s transport=%s sessions=%d events=%d requests=%d retries=%d duplicates=%d duration=%s throughput=%.0f events/s",
+		s.Tenant, transport, s.Sessions, s.Events, s.Requests, s.Retries, s.Duplicates, s.Duration.Round(time.Millisecond), s.EventsPerSec())
 }
 
 // NewReplayClient returns the dedicated HTTP client replays default to:
@@ -180,13 +204,18 @@ func ReplaySource(ctx context.Context, baseURL string, src stream.Source, opts R
 	}
 	stats := ReplayStats{Tenant: opts.Tenant}
 	start := time.Now()
+	poster, err := newBatchPoster(ctx, baseURL, opts, &stats)
+	if err != nil {
+		return stats, err
+	}
+	defer poster.close()
 	batches := make(map[replayKey]*sessionBatch)
 	flush := func(b *sessionBatch) error {
 		if len(b.senders) == 0 {
 			return nil
 		}
 		b.seq++
-		if err := postBatchReliably(ctx, &stats, opts, baseURL, b); err != nil {
+		if err := poster.deliver(ctx, b); err != nil {
 			return fmt.Errorf("serve: replaying %s/%s batch %d: %w", opts.Tenant, b.stream, b.seq, err)
 		}
 		stats.Events += int64(len(b.senders))
@@ -244,6 +273,11 @@ func ReplaySource(ctx context.Context, baseURL string, src stream.Source, opts R
 		if err := flush(batches[k]); err != nil {
 			return stats, err
 		}
+	}
+	// Pipelined transports hold unacknowledged frames until here; a
+	// replay only returns once every batch is acknowledged.
+	if err := poster.finish(ctx); err != nil {
+		return stats, err
 	}
 	stats.Duration = time.Since(start)
 	return stats, nil

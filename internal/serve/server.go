@@ -28,6 +28,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -132,6 +133,11 @@ type Server struct {
 
 	recoveredPanics  atomic.Int64
 	rejectedOverload atomic.Int64
+
+	// wireAddr, when set, is the companion binary wire listener's
+	// address, advertised on /healthz so clients auto-negotiate the
+	// faster protocol (empty = HTTP only).
+	wireAddr atomic.Value // string
 }
 
 // observeRequest is the POST /v1/observe body. Predictor optionally names
@@ -161,12 +167,15 @@ type observeRequest struct {
 	Sizes     []int64 `json:"sizes,omitempty"`
 }
 
-// scratch is the pooled per-request state. Decoding into the retained
-// Events slice reuses its backing array, and forecasts are appended into
-// a retained buffer, so steady-state requests allocate only what
-// encoding/json itself needs.
+// scratch is the pooled per-request state. The body is slurped into the
+// retained byte buffer (a fresh json.Decoder would grow a private buffer
+// per request), decoding into the retained Events/Senders/Sizes slices
+// reuses their backing arrays, and forecasts are appended into a
+// retained buffer — so steady-state requests allocate only what
+// encoding/json's Unmarshal itself needs.
 type scratch struct {
 	req       observeRequest
+	body      []byte
 	forecasts []Forecast
 }
 
@@ -191,7 +200,10 @@ func NewServerWith(reg *Registry, opts ServerOptions) *Server {
 		s.inflight = make(chan struct{}, s.opts.MaxInFlight)
 	}
 	s.pool.New = func() interface{} {
-		return &scratch{forecasts: make([]Forecast, 0, MaxHorizon)}
+		return &scratch{
+			body:      make([]byte, 0, 4096),
+			forecasts: make([]Forecast, 0, MaxHorizon),
+		}
 	}
 	// Each counter reads its own atomic directly: routing through
 	// reg.Stats() would make every scrape sweep all shard locks (via Len)
@@ -319,6 +331,24 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	fmt.Fprintf(w, "{\"error\":%s}\n", msg)
 }
 
+// appendAll reads r to EOF into buf, reusing (and keeping) its backing
+// array — io.ReadAll with a caller-owned buffer, for pooled scratch.
+func appendAll(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "observe requires POST")
@@ -343,8 +373,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	// MaxBytesReader (unlike a bare LimitReader) closes the connection
 	// on overrun and lets the overflow be told apart from malformed
 	// JSON, so oversized bodies get the honest 413.
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxObserveBody))
-	if err := dec.Decode(&sc.req); err != nil {
+	var err error
+	sc.body, err = appendAll(sc.body[:0], http.MaxBytesReader(w, r.Body, maxObserveBody))
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "observe body exceeds %d bytes", maxObserveBody)
@@ -357,6 +388,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "request deadline exceeded reading body: %v", ctxErr)
 			return
 		}
+		writeError(w, http.StatusBadRequest, "reading observe request: %v", err)
+		return
+	}
+	if err := json.Unmarshal(sc.body, &sc.req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding observe request: %v", err)
 		return
 	}
@@ -391,7 +426,6 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	var total int64
 	var duplicate bool
-	var err error
 	if columnar {
 		total, duplicate, err = s.reg.ObserveBlockSeq(sc.req.Tenant, sc.req.Stream, sc.req.Predictor, sc.req.Seq, sc.req.Senders, sc.req.Sizes)
 	} else {
@@ -548,11 +582,29 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "{\"restored\":%d}\n", len(sessions))
 }
 
+// SetWireAddr records the companion wire listener's address for
+// /healthz advertisement. The wire server calls it when it starts
+// serving; tests and daemons may also set it explicitly.
+func (s *Server) SetWireAddr(addr string) { s.wireAddr.Store(addr) }
+
+// WireAddr returns the advertised wire listener address ("" = none).
+func (s *Server) WireAddr() string {
+	v, _ := s.wireAddr.Load().(string)
+	return v
+}
+
 // handleHealthz is pure liveness: it answers ok for as long as the
 // process can serve HTTP at all, even while draining — a live-but-
-// draining server must not be restarted by an orchestrator.
+// draining server must not be restarted by an orchestrator. When a
+// binary wire listener runs alongside, its address rides in "wire" so
+// clients probing the HTTP surface can upgrade.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if wa := s.WireAddr(); wa != "" {
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"sessions\":%d,\"uptime_s\":%.1f,\"wire\":%q}\n",
+			s.reg.Len(), time.Since(s.start).Seconds(), wa)
+		return
+	}
 	fmt.Fprintf(w, "{\"status\":\"ok\",\"sessions\":%d,\"uptime_s\":%.1f}\n",
 		s.reg.Len(), time.Since(s.start).Seconds())
 }

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireFrame exercises the framing and every payload decoder on
+// arbitrary input: the reader must never panic, every rejection must
+// wrap ErrCorrupt, and any frame it accepts must re-encode canonically
+// and re-decode to the same values (decode/encode stability).
+func FuzzWireFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	data, _ := func() ([]byte, map[int]bool) {
+		var buf bytes.Buffer
+		fw := NewFrameWriter(&buf)
+		rng := rand.New(rand.NewSource(7))
+		fw.WriteFrame(arbitraryObserve(rng))
+		fw.WriteFrame(AppendAck(nil, 1, 0))
+		fw.WriteFrame(AppendPredict(nil, 2, "t", "s", 5))
+		fw.WriteFrame(AppendPredictResp(nil, 2, true, 10, []Forecast{{Sender: 1, SenderOK: true, Size: 2, SizeOK: true}}))
+		fw.WriteFrame(AppendError(nil, CodeBadRequest, 0, "bad key"))
+		fw.Flush()
+		return buf.Bytes(), nil
+	}()
+	f.Add(data)
+	if len(data) > 8 {
+		f.Add(data[:len(data)/2]) // truncated
+		mutated := append([]byte(nil), data...)
+		mutated[len(data)/3] ^= 0x40 // bit-flipped
+		f.Add(mutated)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for {
+			p, err := fr.ReadFrame()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("framing error %v does not wrap ErrCorrupt", err)
+				}
+				return
+			}
+			switch p[0] {
+			case FrameObserve:
+				var v ObserveView
+				if err := v.Decode(p); err != nil {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("observe decode error %v does not wrap ErrCorrupt", err)
+					}
+					continue
+				}
+				canon := AppendObserve(nil, string(v.Tenant), string(v.Stream), string(v.Strategy), v.Seq, v.Senders, v.Sizes)
+				var again ObserveView
+				if err := again.Decode(canon); err != nil {
+					t.Fatalf("re-decoding our own observe encoding failed: %v", err)
+				}
+				if !bytes.Equal(again.Tenant, v.Tenant) || again.Seq != v.Seq ||
+					!reflect.DeepEqual(again.Senders, v.Senders) || !reflect.DeepEqual(again.Sizes, v.Sizes) {
+					t.Fatal("observe decode/encode/decode drifted")
+				}
+			case FrameObserveAck:
+				ord, dups, err := DecodeAck(p)
+				if err != nil {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("ack decode error %v does not wrap ErrCorrupt", err)
+					}
+					continue
+				}
+				if ord2, dups2, err := DecodeAck(AppendAck(nil, ord, dups)); err != nil || ord2 != ord || dups2 != dups {
+					t.Fatalf("ack decode/encode/decode drifted: (%d,%d,%v)", ord2, dups2, err)
+				}
+			case FramePredict:
+				var v PredictView
+				if err := v.Decode(p); err != nil && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("predict decode error %v does not wrap ErrCorrupt", err)
+				}
+			case FramePredictResp:
+				var v PredictRespView
+				if err := v.Decode(p); err != nil {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("predict response decode error %v does not wrap ErrCorrupt", err)
+					}
+					continue
+				}
+				canon := AppendPredictResp(nil, v.ID, v.Found, v.Observed, v.Forecasts)
+				fcs := append([]Forecast(nil), v.Forecasts...)
+				var again PredictRespView
+				if err := again.Decode(canon); err != nil {
+					t.Fatalf("re-decoding our own predict response failed: %v", err)
+				}
+				if again.ID != v.ID || again.Found != v.Found || again.Observed != v.Observed ||
+					!reflect.DeepEqual(again.Forecasts, fcs) {
+					t.Fatal("predict response decode/encode/decode drifted")
+				}
+			case FrameError:
+				if _, err := DecodeError(p); err != nil && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("error decode error %v does not wrap ErrCorrupt", err)
+				}
+			}
+		}
+	})
+}
+
+// FuzzWireHandshake exercises the handshake validator on arbitrary
+// preambles.
+func FuzzWireHandshake(f *testing.F) {
+	var buf bytes.Buffer
+	WriteHandshake(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("GET / HTTP/1.1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		if err := fr.Handshake(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("handshake error %v does not wrap ErrCorrupt", err)
+		}
+	})
+}

@@ -43,6 +43,7 @@ import (
 	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
+	"mpipredict/internal/wire"
 	"mpipredict/internal/workloads"
 )
 
@@ -156,6 +157,18 @@ type (
 	ReplayOptions = serve.ReplayOptions
 	// ReplayStats summarise one trace replay.
 	ReplayStats = serve.ReplayStats
+	// WireServer serves the binary columnar wire protocol for a
+	// ServeServer's registry (the daemon's -listen-wire listener).
+	WireServer = serve.WireServer
+	// WireClient is one pipelined wire-protocol connection.
+	WireClient = wire.Client
+	// WireClientOptions configure DialWire (pipeline window, timeout).
+	WireClientOptions = wire.ClientOptions
+	// LoadGenOptions configure the synthetic load generator.
+	LoadGenOptions = serve.LoadGenOptions
+	// LoadGenStats summarise one load-generation run (events delivered,
+	// duplicates absorbed, events/s).
+	LoadGenStats = serve.LoadGenStats
 )
 
 // Clustering types (the sharded serving tier behind cmd/mpigateway).
@@ -412,6 +425,23 @@ func NewServeRegistry(cfg ServeConfig) *ServeRegistry { return serve.NewRegistry
 // NewServeServer wraps a registry in the service's HTTP/JSON API
 // (observe, predict, sessions, healthz, expvar metrics).
 func NewServeServer(reg *ServeRegistry) *ServeServer { return serve.NewServer(reg) }
+
+// NewWireServer attaches a binary wire-protocol listener shell to an
+// HTTP server: same registry, same readiness/drain/overload gates, same
+// seq dedup (DESIGN.md §10). Run its Serve on a net.Listener.
+func NewWireServer(s *ServeServer) *WireServer { return serve.NewWireServer(s) }
+
+// DialWire connects and handshakes a pipelined wire-protocol client.
+func DialWire(ctx context.Context, addr string, opts WireClientOptions) (*WireClient, error) {
+	return wire.Dial(ctx, addr, opts)
+}
+
+// RunLoadGen drives synthetic periodic sessions into the daemon at
+// target — over the wire protocol when advertised, HTTP otherwise — and
+// reports delivered events, duplicates and throughput.
+func RunLoadGen(ctx context.Context, target string, opts LoadGenOptions) (LoadGenStats, error) {
+	return serve.LoadGen(ctx, target, opts)
+}
 
 // NewShardMap builds the rendezvous-hash shard map over the given
 // backend base URLs (order-insensitive; duplicates rejected).
