@@ -369,6 +369,75 @@ func BenchmarkStrategyPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreScanTopK measures the columnar store's parallel
+// projected top-K sender scan over a ≥1M-event trace: the store decodes
+// only the sender and level columns, prunes by the footer index and fans
+// partitions across GOMAXPROCS workers in constant memory.
+func BenchmarkStoreScanTopK(b *testing.B) {
+	env, err := benchdefs.StoreBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.ScanTopK(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportEventsThroughput(b, env.Events)
+}
+
+// BenchmarkStoreScanProjected measures the narrowest useful projection:
+// summing the size column alone reads one block per partition of eight.
+func BenchmarkStoreScanProjected(b *testing.B) {
+	env, err := benchdefs.StoreBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.ScanProjectedSizeSum(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportEventsThroughput(b, env.Events)
+}
+
+// BenchmarkStoreWrite measures the columnar encoder end to end: the
+// synthetic event stream through delta/dictionary encoding into
+// io.Discard.
+func BenchmarkStoreWrite(b *testing.B) {
+	env, err := benchdefs.StoreBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.WriteStore(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportEventsThroughput(b, env.Events)
+}
+
+// BenchmarkTraceLoadTopK is the pre-store baseline of
+// BenchmarkStoreScanTopK: trace.Load materializes every record, then the
+// caller iterates. The events/s ratio between the two benchmarks is the
+// speedup the partitioned columnar format delivers on analytical scans.
+func BenchmarkTraceLoadTopK(b *testing.B) {
+	env, err := benchdefs.StoreBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.LoadIterateTopK(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchdefs.ReportEventsThroughput(b, env.Events)
+}
+
 // BenchmarkStrategyComparison regenerates the strategy comparison grid
 // (the new report of this refactor): every registered strategy on one
 // representative spec per benchmark. The metric is each strategy's mean

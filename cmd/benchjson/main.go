@@ -298,6 +298,61 @@ func benchmarks() []entry {
 			}
 			benchdefs.ReportBatchThroughput(b)
 		}},
+		{"store-scan-topk", false, func(b *testing.B) {
+			env, err := benchdefs.StoreBench()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.ScanTopK(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportEventsThroughput(b, env.Events)
+		}},
+		{"store-scan-projected", false, func(b *testing.B) {
+			env, err := benchdefs.StoreBench()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.ScanProjectedSizeSum(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportEventsThroughput(b, env.Events)
+		}},
+		{"store-write", false, func(b *testing.B) {
+			env, err := benchdefs.StoreBench()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.WriteStore(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportEventsThroughput(b, env.Events)
+		}},
+		{"trace-load-topk", false, func(b *testing.B) {
+			// The pre-store baseline of store-scan-topk: materialize the
+			// whole trace, then iterate. The events/s ratio between the two
+			// entries is the store's headline speedup.
+			env, err := benchdefs.StoreBench()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := env.LoadIterateTopK(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchdefs.ReportEventsThroughput(b, env.Events)
+		}},
 	}
 }
 

@@ -14,8 +14,11 @@
 //	mpipredict -experiment figure1 -iterations 40 -noiseless
 //	mpipredict -experiment table1 -cache-dir ~/.cache/mpipredict -cache-stats
 //	mpipredict -trace bt9.mpt -experiment table1
+//	mpipredict -trace big.mpts -experiment scan -scan top-senders -topk 5
+//	mpipredict -trace big.mpts -experiment scan -scan windows -windows 12 -format csv
+//	mpipredict -trace big.mpts -experiment scan -scan phases -parallel 8
 //
-// Experiments: table1, figure1, figure2, figure3, figure4, compare, all.
+// Experiments: table1, figure1, figure2, figure3, figure4, compare, scan, all.
 //
 // With -predictor, the accuracy experiments (figure3, figure4, and the
 // figure replays) evaluate the named prediction strategy instead of the
@@ -28,7 +31,17 @@
 // prediction accuracy on its recorded streams. With -cache-dir, simulated
 // traces are persisted under the directory and reused by later runs; a
 // warm directory serves a full experiment grid with zero simulator
-// invocations (verify with -cache-stats).
+// invocations (verify with -cache-stats); -cache-format mpts switches the
+// disk tier to the columnar store format.
+//
+// The "scan" experiment answers workload-analysis queries directly from a
+// columnar .mpts file (cmd/tracegen -o file.mpts) without materializing
+// the trace: top-K senders (-scan top-senders), per-window traffic
+// statistics (-scan windows), or communication-phase boundaries
+// (-scan phases), evaluated by a parallel partition scan with footer-level
+// pruning and column projection. It requires -trace pointing at a .mpts
+// file; -parallel bounds the scan workers and -format selects table or
+// csv output.
 package main
 
 import (
@@ -45,6 +58,7 @@ import (
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/strategy"
 	"mpipredict/internal/stream"
+	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
 	"mpipredict/internal/workloads"
 )
@@ -63,7 +77,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("mpipredict", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	experiment := fs.String("experiment", "all", "experiment to run: table1, figure1, figure2, figure3, figure4, compare, all")
+	experiment := fs.String("experiment", "all", "experiment to run: table1, figure1, figure2, figure3, figure4, compare, scan, all")
 	predictorName := fs.String("predictor", "", fmt.Sprintf("prediction strategy for the accuracy experiments (one of %v; default %s)", strategy.Names(), strategy.Default))
 	seed := fs.Int64("seed", 1, "simulation seed")
 	iterations := fs.Int("iterations", 0, "override the per-workload iteration count (0 = class A defaults)")
@@ -71,9 +85,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", 0, "max experiments evaluated concurrently (0 = GOMAXPROCS); results are identical for every setting")
 	nocache := fs.Bool("nocache", false, "re-simulate every workload instead of sharing traces between experiments")
 	tracePath := fs.String("trace", "", "replay this trace file (.mpt or JSONL) instead of simulating")
-	format := fs.String("format", "table", "output format for -experiment compare: table or csv")
+	format := fs.String("format", "table", "output format for -experiment compare and scan: table or csv")
 	cacheDir := fs.String("cache-dir", "", "persist simulated traces under this directory and reuse them across runs")
 	cacheStats := fs.Bool("cache-stats", false, "print trace-cache statistics for this run to stderr")
+	cacheFormat := fs.String("cache-format", "mpt", "on-disk format of the -cache-dir tier: mpt (flat binary) or mpts (columnar store)")
+	scanQuery := fs.String("scan", "top-senders", "query for -experiment scan: top-senders, windows, or phases")
+	topK := fs.Int("topk", 10, "with -scan top-senders: number of senders to rank")
+	windows := fs.Int("windows", 8, "with -scan windows or phases: number of equal time windows")
+	levelName := fs.String("level", "logical", "with -experiment scan: stream to analyse, logical or physical")
 	versionFlag := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,17 +115,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// effect: table1/figure1/figure2 characterise streams without
 		// running a predictor, and compare runs every strategy itself.
 		switch *experiment {
-		case "table1", "figure1", "figure2":
+		case "table1", "figure1", "figure2", "scan":
 			return fmt.Errorf("-predictor has no effect on -experiment %s (only the accuracy experiments figure3, figure4 and all evaluate a predictor); drop it", *experiment)
 		case "compare":
 			return fmt.Errorf("-predictor has no effect on -experiment compare (it runs every registered strategy); drop it")
 		}
 	}
+	if *experiment != "scan" {
+		// The scan knobs shape only the store queries; anywhere else they
+		// would be silently inert.
+		if set := cliutil.SetFlags(fs, "scan", "topk", "windows", "level"); len(set) > 0 {
+			return fmt.Errorf("%v only affect -experiment scan; drop them", set)
+		}
+	} else if *tracePath == "" {
+		return fmt.Errorf("-experiment scan analyses a columnar store file; point -trace at a .mpts file (export one with tracegen -o file.mpts)")
+	}
 	if *tracePath != "" {
 		// A replay evaluates the file's recorded run and touches no cache;
 		// silently ignoring simulation/cache knobs would let the user
-		// believe they took effect.
-		if set := cliutil.SetFlags(fs, "seed", "iterations", "noiseless", "parallel", "nocache", "cache-dir", "cache-stats"); len(set) > 0 {
+		// believe they took effect. The scan experiment keeps -parallel: it
+		// bounds the store scan workers.
+		reject := []string{"seed", "iterations", "noiseless", "parallel", "nocache", "cache-dir", "cache-stats", "cache-format"}
+		if *experiment == "scan" {
+			reject = []string{"seed", "iterations", "noiseless", "nocache", "cache-dir", "cache-stats", "cache-format"}
+		}
+		if set := cliutil.SetFlags(fs, reject...); len(set) > 0 {
 			return fmt.Errorf("%v only affect simulation and are ignored with -trace; drop them", set)
 		}
 	}
@@ -115,10 +148,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -format %q (want table or csv)", *format)
 	}
-	if len(cliutil.SetFlags(fs, "format")) > 0 && *experiment != "compare" {
-		// Only the comparison grid has a machine-readable rendering; the
-		// figures and tables are fixed-layout paper reproductions.
-		return fmt.Errorf("-format only affects -experiment compare; drop it")
+	if len(cliutil.SetFlags(fs, "format")) > 0 && *experiment != "compare" && *experiment != "scan" {
+		// Only the comparison grid and the scan queries have a
+		// machine-readable rendering; the figures and tables are
+		// fixed-layout paper reproductions.
+		return fmt.Errorf("-format only affects -experiment compare and scan; drop it")
+	}
+	switch *cacheFormat {
+	case "mpt", "mpts":
+	default:
+		return fmt.Errorf("unknown -cache-format %q (want mpt or mpts)", *cacheFormat)
+	}
+	if len(cliutil.SetFlags(fs, "cache-format")) > 0 && *cacheDir == "" {
+		return fmt.Errorf("-cache-format selects the on-disk tier format and needs -cache-dir; add it or drop -cache-format")
 	}
 
 	opts := evalx.Options{Seed: *seed, Iterations: *iterations, Net: simnet.DefaultConfig(), Parallelism: *parallel, NoCache: *nocache, Strategy: *predictorName}
@@ -129,7 +171,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// A fresh Cache per invocation: its memory tier is empty, so the
 		// printed stats describe exactly this run, and the disk tier under
 		// cacheDir carries entries across runs and processes.
-		opts.Cache = tracecache.NewDisk(*cacheDir)
+		if *cacheFormat == "mpts" {
+			opts.Cache = tracecache.NewDiskStore(*cacheDir)
+		} else {
+			opts.Cache = tracecache.NewDisk(*cacheDir)
+		}
 	}
 	if *cacheStats {
 		cache := opts.Cache
@@ -140,6 +186,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer func() { printCacheStats(stderr, cache, before) }()
 	}
 
+	if *experiment == "scan" {
+		level, err := trace.ParseLevel(*levelName)
+		if err != nil {
+			return err
+		}
+		q := scanConfig{query: *scanQuery, topK: *topK, windows: *windows, level: level, workers: *parallel, format: *format}
+		return runScan(*tracePath, q, stdout, stderr)
+	}
 	if *tracePath != "" {
 		return runReplay(*tracePath, *experiment, opts, stdout)
 	}

@@ -1,0 +1,101 @@
+package main
+
+// The scan experiment: workload-analysis queries answered straight from a
+// columnar .mpts store by the parallel partition scanner, without ever
+// materializing the trace. Three queries ship: a top-K sender ranking,
+// per-window traffic statistics, and communication-phase boundaries (the
+// sender-set shifts the paper's period predictors must ride out).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"mpipredict/internal/report"
+	"mpipredict/internal/trace"
+	"mpipredict/internal/tracestore"
+)
+
+// phaseThreshold is the Jaccard similarity below which two adjacent
+// windows' sender sets count as separate communication phases.
+const phaseThreshold = 0.5
+
+// scanConfig carries the parsed scan flags into runScan.
+type scanConfig struct {
+	query   string // top-senders, windows, phases
+	topK    int
+	windows int
+	level   trace.Level
+	workers int
+	format  string // table or csv
+}
+
+// runScan opens the store, dispatches the requested query and renders the
+// result; the scan statistics (partitions pruned, blocks and bytes read)
+// go to stderr so csv output stays machine-readable.
+func runScan(path string, cfg scanConfig, stdout, stderr io.Writer) error {
+	r, err := tracestore.Open(path)
+	if err != nil {
+		if errors.Is(err, tracestore.ErrCorrupt) && !strings.HasSuffix(path, ".mpts") {
+			return fmt.Errorf("%w (the scan experiment reads columnar .mpts stores; export one with tracegen -o file.mpts)", err)
+		}
+		return err
+	}
+	defer r.Close()
+	ctx := context.Background()
+
+	var out string
+	var stats tracestore.ScanStats
+	switch cfg.query {
+	case "top-senders":
+		if cfg.topK < 1 {
+			return fmt.Errorf("-topk must be at least 1")
+		}
+		rows, total, st, err := r.TopKSenders(ctx, cfg.level, cfg.topK, cfg.workers)
+		if err != nil {
+			return err
+		}
+		stats = st
+		if cfg.format == "csv" {
+			out = report.TopSendersCSV(r.App(), r.Procs(), cfg.level, rows, total)
+		} else {
+			out = report.TopSenders(r.App(), r.Procs(), cfg.level, rows, total)
+		}
+	case "windows":
+		if cfg.windows < 1 {
+			return fmt.Errorf("-windows must be at least 1")
+		}
+		wins, st, err := r.TimeWindows(ctx, cfg.level, cfg.windows, cfg.workers)
+		if err != nil {
+			return err
+		}
+		stats = st
+		if cfg.format == "csv" {
+			out = report.ScanWindowsCSV(r.App(), r.Procs(), cfg.level, wins)
+		} else {
+			out = report.ScanWindows(r.App(), r.Procs(), cfg.level, wins)
+		}
+	case "phases":
+		if cfg.windows < 2 {
+			return fmt.Errorf("-windows must be at least 2 to compare adjacent windows")
+		}
+		bounds, st, err := r.PhaseBoundaries(ctx, cfg.level, cfg.windows, phaseThreshold, cfg.workers)
+		if err != nil {
+			return err
+		}
+		stats = st
+		if cfg.format == "csv" {
+			out = report.PhaseBoundariesCSV(r.App(), r.Procs(), cfg.level, bounds)
+		} else {
+			out = report.PhaseBoundaries(r.App(), r.Procs(), cfg.level, cfg.windows, phaseThreshold, bounds)
+		}
+	default:
+		return fmt.Errorf("unknown -scan %q (want top-senders, windows, or phases)", cfg.query)
+	}
+	fmt.Fprint(stdout, out)
+	fmt.Fprintf(stderr, "scan: %d partitions (%d pruned), %d blocks, %d bytes, %d events\n",
+		stats.Partitions, stats.Pruned, stats.BlocksRead, stats.BytesRead, stats.Events)
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -499,7 +500,11 @@ func TestDaemonDebugVarsIncludesTraceCache(t *testing.T) {
 	var vars struct {
 		TraceCache *tracecache.Stats `json:"tracecache"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
 		t.Fatal(err)
 	}
 	if vars.TraceCache == nil {
@@ -507,6 +512,19 @@ func TestDaemonDebugVarsIncludesTraceCache(t *testing.T) {
 	}
 	if vars.TraceCache.DiskErrors != 0 {
 		t.Fatalf("unexpected disk errors: %+v", vars.TraceCache)
+	}
+	// The store-tier counters must be published by name, so operators can
+	// scrape them without depending on Go struct defaults.
+	var raw struct {
+		TraceCache map[string]json.RawMessage `json:"tracecache"`
+	}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"StoreBlocksRead", "StorePartitionsPruned", "StoreCorruptBlocks"} {
+		if _, ok := raw.TraceCache[field]; !ok {
+			t.Errorf("/debug/vars tracecache group misses the %s store counter", field)
+		}
 	}
 }
 

@@ -25,12 +25,14 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mpipredict/internal/buildinfo"
 	"mpipredict/internal/cliutil"
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracestore"
 	"mpipredict/internal/workloads"
 )
 
@@ -54,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	iterations := fs.Int("iterations", 0, "iteration override (0 = class A default)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	out := fs.String("out", "", "JSONL output file (default: stdout)")
-	binOut := fs.String("o", "", "binary trace output file (.mpt); may be combined with -out")
+	binOut := fs.String("o", "", "binary trace output file: .mpt (flat) or .mpts (columnar store); may be combined with -out")
 	allReceivers := fs.Bool("all-receivers", false, "record the streams of every rank instead of only the typical receiver")
 	noiseless := fs.Bool("noiseless", false, "disable network jitter and load imbalance")
 	events := fs.Int("events", 0, "generate a synthetic periodic stream with this many events per level instead of simulating a workload")
@@ -152,9 +154,19 @@ func runSynthetic(cfg trace.SynthConfig, streamMode bool, binOut, jsonlOut strin
 	return writeTrace(trace.Synthesize(cfg), binOut, jsonlOut, stdout)
 }
 
+// storeOut reports whether a -o path selects the columnar trace store.
+func storeOut(binOut string) bool { return strings.HasSuffix(binOut, ".mpts") }
+
 // writeTrace is the in-memory export path shared by both modes.
 func writeTrace(tr *trace.Trace, binOut, jsonlOut string, stdout io.Writer) error {
-	if binOut != "" {
+	switch {
+	case storeOut(binOut):
+		if err := tracestore.SaveTrace(binOut, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %d records (%d ranks traced) to %s (store v%d)\n",
+			tr.Len(), len(tr.Receivers()), binOut, tracestore.StoreVersion)
+	case binOut != "":
 		if err := trace.SaveBinaryFile(binOut, tr); err != nil {
 			return err
 		}
@@ -208,7 +220,15 @@ func streamExport(produce func(stream.Sink) error, app string, procs int, binOut
 		}
 		tmp := f.Name()
 		defer os.Remove(tmp) // no-op after the rename succeeds
-		w, err := trace.NewWriter(f, app, procs)
+		var w interface {
+			WriteRecord(trace.Record) error
+			Close() error
+		}
+		if storeOut(binOut) {
+			w, err = tracestore.NewWriter(f, app, procs)
+		} else {
+			w, err = trace.NewWriter(f, app, procs)
+		}
 		if err != nil {
 			f.Close()
 			return err
@@ -278,7 +298,11 @@ func streamExport(produce func(stream.Sink) error, app string, procs int, binOut
 	if finishErr != nil {
 		return finishErr
 	}
-	if binOut != "" {
+	switch {
+	case storeOut(binOut):
+		fmt.Fprintf(stdout, "wrote %d records (%d ranks traced) to %s (store v%d, streamed)\n",
+			counter.records, len(counter.receivers), binOut, tracestore.StoreVersion)
+	case binOut != "":
 		fmt.Fprintf(stdout, "wrote %d records (%d ranks traced) to %s (binary v%d, streamed)\n",
 			counter.records, len(counter.receivers), binOut, trace.BinaryVersion)
 	}

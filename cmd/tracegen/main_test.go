@@ -86,7 +86,7 @@ func TestBinaryExportMatchesDirectSimulation(t *testing.T) {
 	if !strings.Contains(stdout, "binary v1") {
 		t.Errorf("summary line missing: %q", stdout)
 	}
-	exported, err := trace.LoadBinaryFile(path)
+	exported, err := trace.Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestAllReceiversExport(t *testing.T) {
 	if _, _, err := runCLI(t, "-workload", "bt", "-procs", "4", "-iterations", "1", "-all-receivers", "-o", path); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := trace.LoadBinaryFile(path)
+	tr, err := trace.Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}

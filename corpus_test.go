@@ -23,6 +23,7 @@ import (
 
 	"mpipredict/internal/simnet"
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracestore"
 	"mpipredict/internal/workloads"
 )
 
@@ -102,6 +103,46 @@ func TestGoldenCorpusPinned(t *testing.T) {
 	}
 }
 
+// storeCorpusFile maps a corpus .mpt filename to its columnar sibling.
+func storeCorpusFile(file string) string {
+	return file + "s" // bt.4.mpt -> bt.4.mpts
+}
+
+// TestGoldenCorpusStorePinned is TestGoldenCorpusPinned for the columnar
+// .mpts siblings: every corpus trace is also committed in the store
+// format, pinned byte-for-byte. The parity suite (store_parity_test.go)
+// and FuzzStoreCodec consume these files.
+func TestGoldenCorpusStorePinned(t *testing.T) {
+	for _, c := range corpusSpecs() {
+		t.Run(storeCorpusFile(c.File), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tracestore.WriteTrace(&buf, simulateCorpusTrace(t, c)); err != nil {
+				t.Fatal(err)
+			}
+			path := corpusPath(storeCorpusFile(c.File))
+			if *updateCorpus {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, buf.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing corpus file (regenerate with -update): %v", err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("simulator or store codec output for %s drifted from the committed corpus (%d vs %d bytes).\n"+
+					"If the change is intentional, regenerate with: go test -run TestGoldenCorpus -update .",
+					storeCorpusFile(c.File), len(want), buf.Len())
+			}
+		})
+	}
+}
+
 // TestGoldenCorpusReplaysExactly decodes every corpus file and checks the
 // records equal a fresh simulation — the decode side of the pin, and the
 // property the CLI replay path relies on: evaluating a loaded corpus trace
@@ -112,7 +153,7 @@ func TestGoldenCorpusReplaysExactly(t *testing.T) {
 	}
 	for _, c := range corpusSpecs() {
 		t.Run(c.File, func(t *testing.T) {
-			loaded, err := trace.LoadBinaryFile(corpusPath(c.File))
+			loaded, err := trace.Load(corpusPath(c.File))
 			if err != nil {
 				t.Fatal(err)
 			}

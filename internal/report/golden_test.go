@@ -29,7 +29,7 @@ func loadCorpus(t *testing.T) []*trace.Trace {
 	t.Helper()
 	traces := make([]*trace.Trace, 0, len(corpusFiles))
 	for _, f := range corpusFiles {
-		tr, err := trace.LoadBinaryFile(filepath.Join("..", "..", "testdata", "corpus", f))
+		tr, err := trace.Load(filepath.Join("..", "..", "testdata", "corpus", f))
 		if err != nil {
 			t.Fatalf("loading corpus %s (regenerate with `go test -run TestGoldenCorpus -update .` at the repo root): %v", f, err)
 		}

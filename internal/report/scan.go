@@ -1,0 +1,93 @@
+package report
+
+// Renderers for `mpipredict -experiment scan` — the analytical queries
+// the columnar trace store (internal/tracestore) answers without
+// materializing the trace. Each view has the fixed-layout table form the
+// terminal gets and a long-form CSV for analysis scripts, mirroring the
+// StrategyComparison pair.
+
+import (
+	"fmt"
+	"strings"
+
+	"mpipredict/internal/trace"
+	"mpipredict/internal/tracestore"
+)
+
+// TopSenders renders a top-K sender ranking with share-of-total columns.
+func TopSenders(app string, procs int, level trace.Level, rows []tracestore.SenderCount, total int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Top senders — %s, %d procs, %s stream (%d events)\n", app, procs, level, total)
+	fmt.Fprintf(&b, "%4s %8s %12s %8s\n", "rank", "sender", "events", "share")
+	for i, row := range rows {
+		share := 0.0
+		if total > 0 {
+			share = float64(row.Events) / float64(total)
+		}
+		fmt.Fprintf(&b, "%4d %8d %12d %7.1f%%\n", i+1, row.Sender, row.Events, 100*share)
+	}
+	return b.String()
+}
+
+// TopSendersCSV is the machine-readable sibling of TopSenders.
+func TopSendersCSV(app string, procs int, level trace.Level, rows []tracestore.SenderCount, total int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app,procs,level,rank,sender,events,share\n")
+	for i, row := range rows {
+		share := 0.0
+		if total > 0 {
+			share = float64(row.Events) / float64(total)
+		}
+		fmt.Fprintf(&b, "%s,%d,%s,%d,%d,%d,%.6f\n", app, procs, level, i+1, row.Sender, row.Events, share)
+	}
+	return b.String()
+}
+
+// ScanWindows renders the per-window event tallies of a windowed scan.
+func ScanWindows(app string, procs int, level trace.Level, wins []tracestore.WindowStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Time windows — %s, %d procs, %s stream (%d windows)\n", app, procs, level, len(wins))
+	fmt.Fprintf(&b, "%6s %14s %14s %10s %10s %12s %8s\n", "window", "start_us", "end_us", "events", "p2p", "collective", "senders")
+	for _, w := range wins {
+		fmt.Fprintf(&b, "%6d %14.1f %14.1f %10d %10d %12d %8d\n",
+			w.Index, w.Start, w.End, w.Events, w.P2P, w.Collective, w.DistinctSenders)
+	}
+	return b.String()
+}
+
+// ScanWindowsCSV is the machine-readable sibling of ScanWindows.
+func ScanWindowsCSV(app string, procs int, level trace.Level, wins []tracestore.WindowStat) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app,procs,level,window,start_us,end_us,events,p2p,collective,distinct_senders\n")
+	for _, w := range wins {
+		fmt.Fprintf(&b, "%s,%d,%s,%d,%.6f,%.6f,%d,%d,%d,%d\n",
+			app, procs, level, w.Index, w.Start, w.End, w.Events, w.P2P, w.Collective, w.DistinctSenders)
+	}
+	return b.String()
+}
+
+// PhaseBoundaries renders detected communication-phase shifts.
+func PhaseBoundaries(app string, procs int, level trace.Level, windows int, threshold float64, bounds []tracestore.PhaseBoundary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Phase boundaries — %s, %d procs, %s stream (%d windows, similarity < %.2f)\n",
+		app, procs, level, windows, threshold)
+	if len(bounds) == 0 {
+		fmt.Fprintf(&b, "no boundaries: the active-sender set is stable across every window\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%6s %14s %10s\n", "window", "start_us", "jaccard")
+	for _, p := range bounds {
+		fmt.Fprintf(&b, "%6d %14.1f %10.3f\n", p.Window, p.Time, p.Similarity)
+	}
+	return b.String()
+}
+
+// PhaseBoundariesCSV is the machine-readable sibling of PhaseBoundaries.
+func PhaseBoundariesCSV(app string, procs int, level trace.Level, bounds []tracestore.PhaseBoundary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app,procs,level,window,start_us,jaccard\n")
+	for _, p := range bounds {
+		fmt.Fprintf(&b, "%s,%d,%s,%d,%.6f,%.6f\n", app, procs, level, p.Window, p.Time, p.Similarity)
+	}
+	return b.String()
+}

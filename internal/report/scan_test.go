@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mpipredict/internal/trace"
+	"mpipredict/internal/tracestore"
+)
+
+func TestTopSendersRendering(t *testing.T) {
+	rows := []tracestore.SenderCount{
+		{Sender: 3, Events: 150},
+		{Sender: 1, Events: 50},
+	}
+	out := TopSenders("bt", 4, trace.Logical, rows, 200)
+	for _, want := range []string{"Top senders — bt, 4 procs, logical stream (200 events)", "rank", "75.0%", "25.0%", "150", "50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TopSenders output missing %q:\n%s", want, out)
+		}
+	}
+	// A zero total (empty stream) must not divide by zero.
+	if !strings.Contains(TopSenders("bt", 4, trace.Logical, rows, 0), "0.0%") {
+		t.Error("zero total should render 0.0% shares")
+	}
+
+	csv := TopSendersCSV("bt", 4, trace.Logical, rows, 200)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 || lines[0] != "app,procs,level,rank,sender,events,share" {
+		t.Fatalf("unexpected CSV shape:\n%s", csv)
+	}
+	if lines[1] != "bt,4,logical,1,3,150,0.750000" {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+	if !strings.Contains(TopSendersCSV("bt", 4, trace.Logical, rows, 0), ",0.000000") {
+		t.Error("zero total should render 0 shares in CSV")
+	}
+}
+
+func TestScanWindowsRendering(t *testing.T) {
+	wins := []tracestore.WindowStat{
+		{Index: 0, Start: 0, End: 10.5, Events: 7, P2P: 5, Collective: 2, DistinctSenders: 3},
+		{Index: 1, Start: 10.5, End: 21, Events: 4, P2P: 4, Collective: 0, DistinctSenders: 2},
+	}
+	out := ScanWindows("lu", 8, trace.Physical, wins)
+	for _, want := range []string{"Time windows — lu, 8 procs, physical stream (2 windows)", "start_us", "collective", "10.5", "21.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ScanWindows output missing %q:\n%s", want, out)
+		}
+	}
+
+	csv := ScanWindowsCSV("lu", 8, trace.Physical, wins)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 || lines[0] != "app,procs,level,window,start_us,end_us,events,p2p,collective,distinct_senders" {
+		t.Fatalf("unexpected CSV shape:\n%s", csv)
+	}
+	if lines[1] != "lu,8,physical,0,0.000000,10.500000,7,5,2,3" {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+}
+
+func TestPhaseBoundariesRendering(t *testing.T) {
+	bounds := []tracestore.PhaseBoundary{
+		{Window: 3, Time: 120.25, Similarity: 0.125},
+	}
+	out := PhaseBoundaries("sweep3d", 6, trace.Logical, 8, 0.5, bounds)
+	for _, want := range []string{"Phase boundaries — sweep3d, 6 procs, logical stream (8 windows, similarity < 0.50)", "jaccard", "120.2", "0.125"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PhaseBoundaries output missing %q:\n%s", want, out)
+		}
+	}
+	empty := PhaseBoundaries("sweep3d", 6, trace.Logical, 8, 0.5, nil)
+	if !strings.Contains(empty, "no boundaries") {
+		t.Errorf("empty boundary list should explain itself:\n%s", empty)
+	}
+
+	csv := PhaseBoundariesCSV("sweep3d", 6, trace.Logical, bounds)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 || lines[0] != "app,procs,level,window,start_us,jaccard" {
+		t.Fatalf("unexpected CSV shape:\n%s", csv)
+	}
+	if lines[1] != "sweep3d,6,logical,3,120.250000,0.125000" {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+}

@@ -468,17 +468,3 @@ func SaveBinaryFile(path string, t *Trace) error {
 	}
 	return nil
 }
-
-// LoadBinaryFile reads a binary trace from the named file.
-func LoadBinaryFile(path string) (*Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
-	}
-	defer f.Close()
-	tr, err := ReadBinary(bufio.NewReader(f))
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading %s: %w", path, err)
-	}
-	return tr, nil
-}

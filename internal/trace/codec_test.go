@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -216,7 +217,7 @@ func TestSaveLoadBinaryFileAndSniffingLoad(t *testing.T) {
 	if err := SaveBinaryFile(bin, tr); err != nil {
 		t.Fatal(err)
 	}
-	fromBin, err := LoadBinaryFile(bin)
+	fromBin, err := Load(bin)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestSaveBinaryFileIsAtomic(t *testing.T) {
 	if err := SaveBinaryFile(path, bad); err == nil {
 		t.Fatal("expected an error for an unencodable trace")
 	}
-	restored, err := LoadBinaryFile(path)
+	restored, err := Load(path)
 	if err != nil {
 		t.Fatalf("previous good file was damaged: %v", err)
 	}
@@ -330,6 +331,17 @@ func FuzzTraceCodec(f *testing.F) {
 			mutated[buf.Len()/3] ^= 0x40 // bit-flipped
 			f.Add(mutated)
 		}
+	}
+	// The committed golden corpus seeds the fuzzer with full-size
+	// simulator output — realistic op tables, seq runs and timing spans
+	// that the tiny arbitrary traces cannot reach.
+	corpus, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "corpus", "*.mpt"))
+	for _, path := range corpus {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadBinary(bytes.NewReader(data))

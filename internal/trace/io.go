@@ -149,13 +149,3 @@ func SaveFile(path string, t *Trace) error {
 	}
 	return f.Close()
 }
-
-// LoadFile reads a trace from the named file.
-func LoadFile(path string) (*Trace, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
-	}
-	defer f.Close()
-	return ReadJSONL(f)
-}

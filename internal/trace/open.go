@@ -1,10 +1,13 @@
 package trace
 
-// trace.Open is the single place that knows how to tell the two on-disk
+// trace.Open is the single place that knows how to tell the on-disk
 // trace formats apart. Every consumer that accepts "a trace file" — the
 // evaluation replays, the serve ingester, all CLIs — goes through it
-// (directly or via Load), so the binary-vs-JSONL sniffing logic exists
-// exactly once.
+// (directly or via Load), so the magic sniffing logic exists exactly
+// once. The two formats this package owns (binary .mpt, JSONL) are built
+// in; other packages hook their formats in via RegisterFormat (the
+// columnar .mpts store in internal/tracestore does) without this package
+// importing them.
 
 import (
 	"bufio"
@@ -12,6 +15,38 @@ import (
 	"io"
 	"os"
 )
+
+// FormatReader is the record-at-a-time surface an externally registered
+// trace format exposes through Open: the same contract File itself
+// offers. Read returns events in stream order until io.EOF; Close
+// releases the underlying file.
+type FormatReader interface {
+	App() string
+	Procs() int
+	Read() (Record, error)
+	Close() error
+}
+
+// registeredFormat is one externally owned trace format: its 4-byte file
+// magic and an opener that takes over the path when the magic matches.
+type registeredFormat struct {
+	magic [4]byte
+	open  func(path string) (FormatReader, error)
+}
+
+var formats []registeredFormat
+
+// RegisterFormat hooks a trace format into Open's sniffing: when the
+// first four bytes of a file equal magic, Open closes its handle and
+// delegates to open. Call it from an init function only; the registry is
+// not synchronized. Registering the built-in binary magic would shadow
+// the native reader and panics.
+func RegisterFormat(magic [4]byte, open func(path string) (FormatReader, error)) {
+	if magic == binaryMagic {
+		panic("trace: RegisterFormat called with the built-in binary magic")
+	}
+	formats = append(formats, registeredFormat{magic: magic, open: open})
+}
 
 // File is an open trace file being read record by record, in either
 // supported format. It is the streaming sibling of Load: App and Procs
@@ -23,21 +58,48 @@ type File struct {
 	app   string
 	procs int
 
-	// Exactly one of the two is non-nil, selected by the magic sniff.
+	// Exactly one of the three is non-nil, selected by the magic sniff.
 	bin   *Reader
 	jsonl *JSONLReader
+	ext   FormatReader
 	// br is the buffered view the binary reader consumes; kept so Read
 	// can reject trailing bytes after the trailer, exactly like Load.
 	br *bufio.Reader
 }
 
-// Open opens the named trace file, sniffs the binary magic to pick the
+// Open opens the named trace file, sniffs the leading magic to pick the
 // format, consumes the header and returns a File positioned at the first
-// record. The caller must Close it.
+// record. The caller must Close it. Registered formats (.mpts) reopen
+// the path through their own reader, which then owns the file handle.
 func Open(path string) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: opening %s: %w", path, err)
+	}
+	var head [4]byte
+	if n, err := io.ReadFull(f, head[:]); err != nil {
+		// Shorter than any magic: let the native sniffer produce its
+		// usual corruption/JSONL error from the bytes that are there.
+		if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+			f.Close()
+			return nil, fmt.Errorf("trace: reading %s: %w", path, serr)
+		}
+		_ = n
+	} else {
+		for _, rf := range formats {
+			if head == rf.magic {
+				f.Close()
+				ext, err := rf.open(path)
+				if err != nil {
+					return nil, err
+				}
+				return &File{path: path, ext: ext, app: ext.App(), procs: ext.Procs()}, nil
+			}
+		}
+		if _, serr := f.Seek(0, io.SeekStart); serr != nil {
+			f.Close()
+			return nil, fmt.Errorf("trace: reading %s: %w", path, serr)
+		}
 	}
 	of, err := openReader(f, path)
 	if err != nil {
@@ -89,6 +151,9 @@ func (of *File) Binary() bool { return of.bin != nil }
 // the whole input — trailing bytes after it are rejected as corruption
 // (leftover data means a botched concatenation or a partial overwrite).
 func (of *File) Read() (Record, error) {
+	if of.ext != nil {
+		return of.ext.Read()
+	}
 	if of.bin == nil {
 		return of.jsonl.Read()
 	}
@@ -107,6 +172,9 @@ func (of *File) Read() (Record, error) {
 
 // Close closes the underlying file.
 func (of *File) Close() error {
+	if of.ext != nil {
+		return of.ext.Close()
+	}
 	if of.f == nil {
 		return nil
 	}

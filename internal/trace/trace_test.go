@@ -227,14 +227,14 @@ func TestSaveAndLoadFile(t *testing.T) {
 	if err := SaveFile(path, tr); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	got, err := LoadFile(path)
+	got, err := Load(path)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
 	if got.Len() != tr.Len() {
 		t.Errorf("loaded %d records want %d", got.Len(), tr.Len())
 	}
-	if _, err := LoadFile(filepath.Join(dir, "missing.jsonl")); err == nil {
+	if _, err := Load(filepath.Join(dir, "missing.jsonl")); err == nil {
 		t.Error("loading a missing file should fail")
 	}
 	if err := SaveFile(filepath.Join(dir, "no-such-dir", "x.jsonl"), tr); err == nil {

@@ -105,6 +105,13 @@ type Stats struct {
 	DiskWrites int64 // fresh simulations persisted to the disk tier
 	DiskErrors int64 // corrupt/unreadable/unwritable disk entries (recovered)
 	Entries    int   // entries currently cached in memory
+
+	// Columnar store tier counters (NewDiskStore caches only). The scan
+	// engine reports what each promotion touched; corrupt store entries
+	// are counted here as well as in DiskErrors before re-simulation.
+	StoreBlocksRead       int64 // column blocks read while promoting store entries
+	StorePartitionsPruned int64 // partitions skipped via the store footer index
+	StoreCorruptBlocks    int64 // corrupt store entries dropped and re-simulated
 }
 
 // Delta returns s with before's counters subtracted; Entries stays
@@ -117,6 +124,9 @@ func (s Stats) Delta(before Stats) Stats {
 	s.DiskHits -= before.DiskHits
 	s.DiskWrites -= before.DiskWrites
 	s.DiskErrors -= before.DiskErrors
+	s.StoreBlocksRead -= before.StoreBlocksRead
+	s.StorePartitionsPruned -= before.StorePartitionsPruned
+	s.StoreCorruptBlocks -= before.StoreCorruptBlocks
 	return s
 }
 
@@ -125,8 +135,13 @@ func (s Stats) Delta(before Stats) Stats {
 // exactly one simulator invocation; simulations=0 proves a warm cache
 // served everything.
 func (s Stats) String() string {
-	return fmt.Sprintf("simulations=%d disk-hits=%d disk-writes=%d disk-errors=%d mem-hits=%d coalesced=%d entries=%d",
+	base := fmt.Sprintf("simulations=%d disk-hits=%d disk-writes=%d disk-errors=%d mem-hits=%d coalesced=%d entries=%d",
 		s.Misses, s.DiskHits, s.DiskWrites, s.DiskErrors, s.Hits, s.Coalesced, s.Entries)
+	if s.StoreBlocksRead != 0 || s.StorePartitionsPruned != 0 || s.StoreCorruptBlocks != 0 {
+		base += fmt.Sprintf(" store-blocks=%d store-pruned=%d store-corrupt=%d",
+			s.StoreBlocksRead, s.StorePartitionsPruned, s.StoreCorruptBlocks)
+	}
+	return base
 }
 
 // entry is one in-flight or completed simulation.
@@ -147,6 +162,9 @@ type Cache struct {
 	// trace files (see disk.go). The memory tier promotes from disk on a
 	// miss and writes through to disk after simulating.
 	dir string
+	// store selects the columnar .mpts trace store as the disk-tier
+	// format instead of the flat .mpt codec (NewDiskStore).
+	store bool
 }
 
 // New returns an empty memory-only cache.
@@ -160,6 +178,16 @@ func New() *Cache {
 // different processes) may safely share one directory.
 func NewDisk(dir string) *Cache {
 	return &Cache{entries: make(map[Key]*entry), dir: dir}
+}
+
+// NewDiskStore is NewDisk with the columnar trace store (.mpts,
+// internal/tracestore) as the disk-tier format: entries are persisted as
+// partitioned column blocks and promoted with a parallel scan, with the
+// store's read accounting surfaced through the Store* Stats counters.
+// The two formats coexist in one directory (different extensions), so
+// switching formats neither invalidates nor corrupts an existing cache.
+func NewDiskStore(dir string) *Cache {
+	return &Cache{entries: make(map[Key]*entry), dir: dir, store: true}
 }
 
 // Dir returns the disk-tier directory, or "" for a memory-only cache.

@@ -23,10 +23,15 @@ import (
 	"time"
 
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracestore"
 )
 
-// diskExt is the filename extension of the persistent trace format.
-const diskExt = ".mpt"
+// diskExt is the filename extension of the flat persistent trace format;
+// storeExt is the columnar store tier's (NewDiskStore).
+const (
+	diskExt  = ".mpt"
+	storeExt = ".mpts"
+)
 
 // canonical renders the key as a stable, versioned string; its hash names
 // the entry's file. Any change to this encoding (or to the meaning of a
@@ -40,17 +45,46 @@ func (k Key) canonical() string {
 		k.Receivers)
 }
 
-// Path returns the file the entry for k lives in under dir.
-func Path(dir string, k Key) string {
+// pathFor names the entry file for k under dir with the given extension.
+func pathFor(dir string, k Key, ext string) string {
 	sum := sha256.Sum256([]byte(k.canonical()))
-	return filepath.Join(dir, hex.EncodeToString(sum[:])+diskExt)
+	return filepath.Join(dir, hex.EncodeToString(sum[:])+ext)
+}
+
+// Path returns the file the entry for k lives in under dir in the flat
+// .mpt tier.
+func Path(dir string, k Key) string { return pathFor(dir, k, diskExt) }
+
+// StorePath returns the file the entry for k lives in under dir in the
+// columnar .mpts store tier.
+func StorePath(dir string, k Key) string { return pathFor(dir, k, storeExt) }
+
+// entryPath is the file this cache's tier keeps the entry for key in.
+func (c *Cache) entryPath(key Key) string {
+	if c.store {
+		return StorePath(c.dir, key)
+	}
+	return Path(c.dir, key)
 }
 
 // loadDisk reads the entry for key from the disk tier. A missing file is
 // reported as fs.ErrNotExist; any other error means the file exists but
 // cannot be trusted.
 func (c *Cache) loadDisk(key Key) (*trace.Trace, error) {
-	tr, err := trace.LoadBinaryFile(Path(c.dir, key))
+	var tr *trace.Trace
+	var err error
+	if c.store {
+		var st tracestore.ScanStats
+		tr, st, err = tracestore.LoadFile(c.entryPath(key))
+		if err == nil {
+			c.mu.Lock()
+			c.stats.StoreBlocksRead += int64(st.BlocksRead)
+			c.stats.StorePartitionsPruned += int64(st.Pruned)
+			c.mu.Unlock()
+		}
+	} else {
+		tr, err = trace.Load(c.entryPath(key))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -98,21 +132,31 @@ func (c *Cache) storeDisk(key Key, tr *trace.Trace) error {
 		return err
 	}
 	sweepStaleTemps(c.dir)
-	f, err := os.CreateTemp(c.dir, ".tmp-*"+diskExt)
+	ext := diskExt
+	if c.store {
+		ext = storeExt
+	}
+	f, err := os.CreateTemp(c.dir, ".tmp-*"+ext)
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	if err := trace.WriteBinary(f, tr); err != nil {
+	var werr error
+	if c.store {
+		werr = tracestore.WriteTrace(f, tr)
+	} else {
+		werr = trace.WriteBinary(f, tr)
+	}
+	if werr != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return werr
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, Path(c.dir, key)); err != nil {
+	if err := os.Rename(tmp, c.entryPath(key)); err != nil {
 		os.Remove(tmp)
 		return err
 	}
@@ -134,11 +178,14 @@ func (c *Cache) fill(key Key, run func() (*trace.Trace, error)) (*trace.Trace, e
 			// cold entry: fall through to the simulator
 		default:
 			// Corruption and transient read faults are indistinguishable
-			// here (trace.ErrCorrupt covers both); dropping the entry and
-			// re-simulating is correct for the former and merely wasteful
-			// for the rare latter.
+			// here (the codecs' ErrCorrupt covers both); dropping the
+			// entry and re-simulating is correct for the former and merely
+			// wasteful for the rare latter.
 			c.bump(&c.stats.DiskErrors)
-			os.Remove(Path(c.dir, key)) // drop the corrupt file; best effort
+			if c.store {
+				c.bump(&c.stats.StoreCorruptBlocks)
+			}
+			os.Remove(c.entryPath(key)) // drop the corrupt file; best effort
 		}
 	}
 	c.bump(&c.stats.Misses)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mpipredict/internal/trace"
+	"mpipredict/internal/tracestore"
 	"mpipredict/internal/workloads"
 )
 
@@ -43,7 +44,7 @@ func TestDiskColdMissSimulatesAndPersists(t *testing.T) {
 		t.Errorf("cold stats = %+v, want 1 miss, 1 disk write", s)
 	}
 	path := entryPath(t, dir, testRC(1))
-	onDisk, err := trace.LoadBinaryFile(path)
+	onDisk, err := trace.Load(path)
 	if err != nil {
 		t.Fatalf("persisted entry unreadable: %v", err)
 	}
@@ -126,7 +127,7 @@ func TestDiskCorruptEntryIsResimulated(t *testing.T) {
 				t.Errorf("stats = %+v, want 1 disk error, 1 re-simulation, 1 re-write", s)
 			}
 			// The rewritten entry must be healthy again.
-			if _, err := trace.LoadBinaryFile(path); err != nil {
+			if _, err := trace.Load(path); err != nil {
 				t.Errorf("entry not repaired on disk: %v", err)
 			}
 		})
@@ -316,5 +317,160 @@ func TestKeyCanonicalDistinguishesConfigs(t *testing.T) {
 			t.Errorf("variant %d collides with %d on %s", i+1, prev, p)
 		}
 		seen[p] = i + 1
+	}
+}
+
+// freshDiskStore is freshDisk for the columnar store tier.
+func freshDiskStore(t *testing.T, dir string) *Cache {
+	t.Helper()
+	if dir == "" {
+		dir = t.TempDir()
+	}
+	return NewDiskStore(dir)
+}
+
+func TestDiskStoreTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := freshDiskStore(t, dir)
+	want, err := c.Get(testRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.DiskWrites != 1 {
+		t.Errorf("cold stats = %+v, want 1 miss, 1 disk write", s)
+	}
+	key, err := KeyFor(testRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := StorePath(dir, key)
+	if !strings.HasSuffix(path, ".mpts") {
+		t.Fatalf("store entry path %q is not a .mpts file", path)
+	}
+	r, err := tracestore.Open(path)
+	if err != nil {
+		t.Fatalf("persisted store entry unreadable: %v", err)
+	}
+	events := r.Events()
+	r.Close()
+	if events != int64(len(want.Records)) {
+		t.Errorf("store entry indexes %d events, trace holds %d", events, len(want.Records))
+	}
+
+	// A restart over the same directory serves from the store tier and
+	// surfaces the store read statistics.
+	restarted := freshDiskStore(t, dir)
+	got, err := restarted.Get(testRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Records, got.Records) {
+		t.Error("store-tier trace differs from the simulated one")
+	}
+	s := restarted.Stats()
+	if s.Misses != 0 || s.DiskHits != 1 {
+		t.Errorf("warm stats = %+v, want 0 simulations and 1 disk hit", s)
+	}
+	if s.StoreBlocksRead == 0 {
+		t.Errorf("warm stats = %+v, want StoreBlocksRead > 0 after a store read", s)
+	}
+	if !strings.Contains(s.String(), "store-blocks=") {
+		t.Errorf("Stats.String() %q is missing the store counters", s.String())
+	}
+}
+
+func TestDiskStoreCorruptEntryIsResimulated(t *testing.T) {
+	dir := t.TempDir()
+	seeded := freshDiskStore(t, dir)
+	want, err := seeded.Get(testRC(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := KeyFor(testRC(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := StorePath(dir, key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := freshDiskStore(t, dir)
+	got, err := c.Get(testRC(3))
+	if err != nil {
+		t.Fatalf("corrupt store entry must be recovered, got error: %v", err)
+	}
+	if !reflect.DeepEqual(want.Records, got.Records) {
+		t.Error("re-simulated trace differs from the original")
+	}
+	s := c.Stats()
+	if s.DiskErrors != 1 || s.StoreCorruptBlocks != 1 || s.Misses != 1 || s.DiskWrites != 1 {
+		t.Errorf("stats = %+v, want 1 disk error, 1 corrupt store block, 1 re-simulation, 1 re-write", s)
+	}
+	// The rewritten entry must be healthy again.
+	if _, _, err := tracestore.LoadFile(path); err != nil {
+		t.Errorf("entry not repaired on disk: %v", err)
+	}
+}
+
+func TestDiskFlatAndStoreTiersCoexist(t *testing.T) {
+	// One directory can back both tier formats: the extensions differ, so
+	// the entries never collide and each tier heals independently.
+	dir := t.TempDir()
+	flat := freshDisk(t, dir)
+	want, err := flat.Get(testRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := freshDiskStore(t, dir)
+	got, err := store.Get(testRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Records, got.Records) {
+		t.Error("the two tiers disagree about the same configuration")
+	}
+	// The store cache missed (no .mpts yet) and wrote its own entry.
+	if s := store.Stats(); s.Misses != 1 || s.DiskWrites != 1 || s.DiskHits != 0 {
+		t.Errorf("store stats = %+v, want its own miss and write", s)
+	}
+	key, err := KeyFor(testRC(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{Path(dir, key), StorePath(dir, key)} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("tier entry %s missing: %v", p, err)
+		}
+	}
+}
+
+func TestStatsStringOmitsZeroStoreCounters(t *testing.T) {
+	// The flat tier's stats line must not grow store noise.
+	var s Stats
+	s.Hits = 1
+	if str := s.String(); strings.Contains(str, "store-") {
+		t.Errorf("zero store counters rendered: %q", str)
+	}
+	s.StoreBlocksRead = 2
+	if str := s.String(); !strings.Contains(str, "store-blocks=2") {
+		t.Errorf("nonzero store counters not rendered: %q", str)
+	}
+}
+
+func TestStatsDeltaSubtractsCountersKeepsGauge(t *testing.T) {
+	before := Stats{Hits: 2, Misses: 1, DiskHits: 1, DiskWrites: 1, StoreBlocksRead: 8, Entries: 3}
+	after := Stats{Hits: 5, Misses: 4, Coalesced: 2, DiskHits: 3, DiskWrites: 2, DiskErrors: 1,
+		StoreBlocksRead: 24, StorePartitionsPruned: 6, StoreCorruptBlocks: 1, Entries: 7}
+	d := after.Delta(before)
+	want := Stats{Hits: 3, Misses: 3, Coalesced: 2, DiskHits: 2, DiskWrites: 1, DiskErrors: 1,
+		StoreBlocksRead: 16, StorePartitionsPruned: 6, StoreCorruptBlocks: 1, Entries: 7}
+	if d != want {
+		t.Errorf("Delta = %+v, want %+v", d, want)
 	}
 }

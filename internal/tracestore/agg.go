@@ -1,0 +1,187 @@
+package tracestore
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"mpipredict/internal/trace"
+)
+
+// Aggregations over the scan engine. Each one projects only the columns
+// it needs, accumulates in the sequencer callback (single-goroutine, no
+// locking) and post-processes deterministically, so results are
+// byte-identical at any worker-pool parallelism.
+
+// SenderCount is one row of a top-K sender ranking.
+type SenderCount struct {
+	Sender int64
+	Events int64
+}
+
+// TopKSenders ranks senders of the given stream level by event count,
+// most active first (ties broken by ascending sender rank), truncated to
+// k rows. The second return is the level's total event count (the share
+// denominator, independent of the truncation). It decodes only the sender
+// and level columns.
+func (r *Reader) TopKSenders(ctx context.Context, level trace.Level, k, workers int) ([]SenderCount, int64, ScanStats, error) {
+	counts := make(map[int64]int64)
+	var total int64
+	stats, err := r.Scan(ctx, Query{Columns: Cols(ColSender, ColLevel), Workers: workers}, func(pd *PartitionData) error {
+		for i, s := range pd.Sender {
+			if pd.Level[i] == level {
+				counts[s]++
+				total++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, stats, err
+	}
+	rows := make([]SenderCount, 0, len(counts))
+	for s, n := range counts {
+		rows = append(rows, SenderCount{Sender: s, Events: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Events != rows[j].Events {
+			return rows[i].Events > rows[j].Events
+		}
+		return rows[i].Sender < rows[j].Sender
+	})
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	return rows, total, stats, nil
+}
+
+// WindowStat summarizes one of n equal-width time windows spanning the
+// store's footer-indexed time bounds: the per-window inputs for
+// hit-rate-over-time and phase analysis.
+type WindowStat struct {
+	Index           int
+	Start           float64
+	End             float64
+	Events          int64
+	P2P             int64
+	Collective      int64
+	DistinctSenders int
+}
+
+// ErrEmptyStore is returned by windowed aggregations over a store with
+// no events: there is no time axis to divide.
+var ErrEmptyStore = errors.New("tracestore: store holds no events")
+
+// windowIndex maps an event time onto [0, n) given the global bounds.
+func windowIndex(t, min, width float64, n int) int {
+	if width <= 0 {
+		return 0
+	}
+	w := int((t - min) / width)
+	if w < 0 {
+		w = 0
+	}
+	if w >= n {
+		w = n - 1
+	}
+	return w
+}
+
+// windowPass is the shared single-scan accumulation behind TimeWindows
+// and PhaseBoundaries: per-window event/kind tallies plus the set of
+// senders active in each window.
+func (r *Reader) windowPass(ctx context.Context, level trace.Level, n, workers int) ([]WindowStat, []map[int64]struct{}, ScanStats, error) {
+	min, max, ok := r.TimeBounds()
+	if !ok {
+		return nil, nil, ScanStats{}, ErrEmptyStore
+	}
+	width := (max - min) / float64(n)
+	wins := make([]WindowStat, n)
+	senders := make([]map[int64]struct{}, n)
+	for i := range wins {
+		wins[i].Index = i
+		wins[i].Start = min + float64(i)*width
+		wins[i].End = min + float64(i+1)*width
+		senders[i] = make(map[int64]struct{})
+	}
+	wins[n-1].End = max
+	q := Query{Columns: Cols(ColTime, ColSender, ColKind, ColLevel), Workers: workers}
+	stats, err := r.Scan(ctx, q, func(pd *PartitionData) error {
+		for i, t := range pd.Time {
+			if pd.Level[i] != level {
+				continue
+			}
+			w := windowIndex(t, min, width, n)
+			wins[w].Events++
+			if pd.Kind[i] == trace.Collective {
+				wins[w].Collective++
+			} else {
+				wins[w].P2P++
+			}
+			senders[w][pd.Sender[i]] = struct{}{}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	for i := range wins {
+		wins[i].DistinctSenders = len(senders[i])
+	}
+	return wins, senders, stats, nil
+}
+
+// TimeWindows divides the store's time span into n equal windows and
+// returns per-window event tallies for the given stream level.
+func (r *Reader) TimeWindows(ctx context.Context, level trace.Level, n, workers int) ([]WindowStat, ScanStats, error) {
+	if n < 1 {
+		n = 1
+	}
+	wins, _, stats, err := r.windowPass(ctx, level, n, workers)
+	return wins, stats, err
+}
+
+// PhaseBoundary marks a window whose active-sender set diverged from the
+// previous window's: the communication-phase shifts the paper's
+// period-based predictors have to ride out.
+type PhaseBoundary struct {
+	// Window is the index of the window opening the new phase.
+	Window int
+	// Time is that window's start time.
+	Time float64
+	// Similarity is the Jaccard similarity between the sender sets of
+	// the previous window and this one (0 = disjoint, 1 = identical).
+	Similarity float64
+}
+
+// PhaseBoundaries divides the store's time span into the given number of
+// windows and reports every adjacent pair of non-empty windows whose
+// sender-set Jaccard similarity falls below threshold.
+func (r *Reader) PhaseBoundaries(ctx context.Context, level trace.Level, windows int, threshold float64, workers int) ([]PhaseBoundary, ScanStats, error) {
+	if windows < 2 {
+		windows = 2
+	}
+	wins, senders, stats, err := r.windowPass(ctx, level, windows, workers)
+	if err != nil {
+		return nil, stats, err
+	}
+	var bounds []PhaseBoundary
+	for i := 1; i < len(wins); i++ {
+		prev, cur := senders[i-1], senders[i]
+		if len(prev) == 0 || len(cur) == 0 {
+			continue
+		}
+		inter := 0
+		for s := range prev {
+			if _, ok := cur[s]; ok {
+				inter++
+			}
+		}
+		union := len(prev) + len(cur) - inter
+		sim := float64(inter) / float64(union)
+		if sim < threshold {
+			bounds = append(bounds, PhaseBoundary{Window: i, Time: wins[i].Start, Similarity: sim})
+		}
+	}
+	return bounds, stats, nil
+}

@@ -1,0 +1,90 @@
+package tracestore
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mpipredict/internal/trace"
+)
+
+// TestReadPartitionZeroAlloc pins the scan hot path: once a
+// PartitionData's backing arrays have grown to partition size, decoding
+// further partitions into it — every column, checksums verified —
+// allocates nothing. This is what keeps a million-event scan's steady
+// state at (workers+1) partition buffers, independent of trace size.
+func TestReadPartitionZeroAlloc(t *testing.T) {
+	tr := trace.New("alloc", 8)
+	for i := 0; i < 4*256; i++ {
+		tr.Append(trace.Record{
+			Time:     float64(i) * 1.5,
+			Receiver: i % 8,
+			Sender:   i % 7,
+			Size:     int64(i % 4096),
+			Tag:      i % 3,
+			Kind:     trace.Kind(i % 2),
+			Level:    trace.Level(i % 2),
+			Op:       []string{"send", "bcast"}[i%2],
+		})
+	}
+	data := encodeStore(t, tr, 256)
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pd PartitionData
+	// Warm: grow the backing arrays to the largest partition.
+	for i := 0; i < r.Partitions(); i++ {
+		if err := r.ReadPartition(i, AllColumns, &pd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	part := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := r.ReadPartition(part, AllColumns, &pd); err != nil {
+			t.Fatal(err)
+		}
+		part = (part + 1) % r.Partitions()
+	})
+	if allocs != 0 {
+		t.Errorf("ReadPartition allocates %.1f allocs/op in steady state, want 0", allocs)
+	}
+
+	// The same property for a projected read.
+	allocs = testing.AllocsPerRun(100, func() {
+		if err := r.ReadPartition(part, Cols(ColSender, ColLevel), &pd); err != nil {
+			t.Fatal(err)
+		}
+		part = (part + 1) % r.Partitions()
+	})
+	if allocs != 0 {
+		t.Errorf("projected ReadPartition allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestScanBoundedBuffers proves the pool recycles PartitionData structs:
+// a full scan allocates at most workers+1 of them no matter how many
+// partitions flow through.
+func TestScanBoundedBuffers(t *testing.T) {
+	tr := trace.New("bound", 4)
+	for i := 0; i < 100*16; i++ {
+		tr.Append(trace.Record{Time: float64(i), Sender: i % 4, Op: "send"})
+	}
+	data := encodeStore(t, tr, 16)
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[*PartitionData]struct{})
+	workers := 3
+	_, err = r.Scan(context.Background(), Query{Workers: workers}, func(pd *PartitionData) error {
+		seen[pd] = struct{}{}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) > workers+1 {
+		t.Errorf("scan used %d PartitionData buffers with %d workers, want at most %d", len(seen), workers, workers+1)
+	}
+}

@@ -1,0 +1,173 @@
+package tracestore
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// TimeRange restricts a scan to partitions whose footer-indexed
+// [min, max] event-time interval overlaps [Min, Max].
+type TimeRange struct {
+	Min float64
+	Max float64
+}
+
+// Query describes one scan: which columns to decode and which partitions
+// to visit.
+type Query struct {
+	// Columns is the projection; the zero set selects every column.
+	Columns ColumnSet
+	// Time, when non-nil, prunes partitions that cannot contain events
+	// in the range. Pruning is partition-granular: delivered partitions
+	// may still contain events outside the range, and callbacks that
+	// need exact bounds filter on the time column.
+	Time *TimeRange
+	// Workers bounds the decode pool; values < 1 mean GOMAXPROCS.
+	Workers int
+}
+
+// ScanStats reports what a scan touched.
+type ScanStats struct {
+	// Partitions delivered to the callback.
+	Partitions int
+	// Pruned partitions skipped via the footer index.
+	Pruned int
+	// BlocksRead is the number of column blocks read and decoded.
+	BlocksRead int
+	// BytesRead is the framed size of those blocks.
+	BytesRead int64
+	// Events delivered (whole-partition counts).
+	Events int64
+}
+
+// scanJob pairs a partition index with its dense position in the
+// selected sequence, which addresses the per-position result slot.
+type scanJob struct {
+	pos  int
+	part int
+}
+
+// Scan decodes the selected partitions over a bounded worker pool and
+// delivers them to fn strictly in ascending partition order (the
+// original stream order), one at a time, on the calling goroutine — so
+// fn needs no locking and results are identical at any parallelism.
+// The *PartitionData passed to fn is pool-owned and valid only for the
+// duration of the call. A non-nil error from fn, a decode error, or
+// context cancellation stops the scan promptly; Scan never returns
+// before every worker has exited. Stats are valid (partial) on error.
+func (r *Reader) Scan(ctx context.Context, q Query, fn func(*PartitionData) error) (ScanStats, error) {
+	var stats ScanStats
+	cols := q.Columns
+	if cols == 0 {
+		cols = AllColumns
+	}
+	selected := make([]int, 0, len(r.parts))
+	for i := range r.parts {
+		pm := &r.parts[i]
+		if q.Time != nil && (pm.maxTime < q.Time.Min || pm.minTime > q.Time.Max) {
+			continue
+		}
+		selected = append(selected, i)
+	}
+	stats.Pruned = len(r.parts) - len(selected)
+	if len(selected) == 0 {
+		return stats, ctx.Err()
+	}
+	workers := q.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan scanJob, len(selected))
+	for pos, part := range selected {
+		jobs <- scanJob{pos: pos, part: part}
+	}
+	close(jobs)
+
+	// free recycles PartitionData between workers and the sequencer; its
+	// capacity exceeds the worker count so returns never block.
+	free := make(chan *PartitionData, workers+1)
+	for i := 0; i < workers+1; i++ {
+		free <- &PartitionData{}
+	}
+	results := make([]chan *PartitionData, len(selected))
+	for i := range results {
+		results[i] = make(chan *PartitionData, 1)
+	}
+	errCh := make(chan error, workers)
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				var pd *PartitionData
+				select {
+				case pd = <-free:
+				case <-ctx.Done():
+					return
+				}
+				if err := r.ReadPartition(job.part, cols, pd); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					cancel()
+					return
+				}
+				select {
+				case results[job.pos] <- pd:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	fail := func(fnErr error) (ScanStats, error) {
+		cancel()
+		wg.Wait()
+		if fnErr != nil {
+			return stats, fnErr
+		}
+		select {
+		case err := <-errCh:
+			return stats, err
+		default:
+		}
+		return stats, ctx.Err()
+	}
+
+	for pos, part := range selected {
+		var pd *PartitionData
+		select {
+		case pd = <-results[pos]:
+		case <-ctx.Done():
+			return fail(nil)
+		}
+		pm := &r.parts[part]
+		stats.Partitions++
+		stats.Events += int64(pm.events)
+		for c := Column(0); c < numColumns; c++ {
+			if cols.Has(c) {
+				stats.BlocksRead++
+				stats.BytesRead += int64(pm.colLen[c])
+			}
+		}
+		if err := fn(pd); err != nil {
+			return fail(fmt.Errorf("tracestore: scan callback on partition %d: %w", part, err))
+		}
+		free <- pd
+	}
+	wg.Wait()
+	return stats, nil
+}

@@ -1,0 +1,349 @@
+package tracestore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpipredict/internal/trace"
+)
+
+// scanParallelisms is the set the determinism suite sweeps; the CI race
+// step runs these tests by name.
+var scanParallelisms = []int{1, 2, 8}
+
+func buildScanStore(t *testing.T, events, partEvents int) ([]byte, *trace.Trace) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	tr := trace.New("scan", 16)
+	for i := 0; i < events; i++ {
+		tr.Append(trace.Record{
+			Time:     float64(i) + rng.Float64(),
+			Receiver: rng.Intn(16),
+			Sender:   rng.Intn(16),
+			Size:     int64(rng.Intn(4096)),
+			Tag:      rng.Intn(8),
+			Kind:     trace.Kind(rng.Intn(2)),
+			Level:    trace.Level(rng.Intn(2)),
+			Op:       []string{"send", "isend", "bcast"}[rng.Intn(3)],
+		})
+	}
+	return encodeStore(t, tr, partEvents), tr
+}
+
+func openBytes(t *testing.T, data []byte) *Reader {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestScanDeterministicAcrossParallelism proves the acceptance property:
+// the scan delivers identical partitions in identical order — and the
+// aggregations identical results — at parallelism 1, 2 and 8.
+func TestScanDeterministicAcrossParallelism(t *testing.T) {
+	data, _ := buildScanStore(t, 1000, 32)
+	r := openBytes(t, data)
+
+	type delivery struct {
+		index  int
+		times  []float64
+		sender []int64
+	}
+	collect := func(workers int) ([]delivery, ScanStats) {
+		var got []delivery
+		stats, err := r.Scan(context.Background(), Query{Workers: workers}, func(pd *PartitionData) error {
+			got = append(got, delivery{
+				index:  pd.Index,
+				times:  append([]float64(nil), pd.Time...),
+				sender: append([]int64(nil), pd.Sender...),
+			})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return got, stats
+	}
+
+	base, baseStats := collect(scanParallelisms[0])
+	for _, workers := range scanParallelisms[1:] {
+		got, stats := collect(workers)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("workers=%d: deliveries differ from workers=1", workers)
+		}
+		if stats != baseStats {
+			t.Errorf("workers=%d: stats %+v differ from workers=1 %+v", workers, stats, baseStats)
+		}
+	}
+	if baseStats.Partitions != 32 || baseStats.Events != 1000 {
+		t.Errorf("stats = %+v, want 32 partitions / 1000 events", baseStats)
+	}
+}
+
+func TestAggregationsDeterministicAcrossParallelism(t *testing.T) {
+	data, tr := buildScanStore(t, 2000, 64)
+	r := openBytes(t, data)
+	ctx := context.Background()
+
+	baseTop, baseTotal, _, err := r.TopKSenders(ctx, trace.Logical, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseWins, _, err := r.TimeWindows(ctx, trace.Logical, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseBounds, _, err := r.PhaseBoundaries(ctx, trace.Logical, 8, 0.99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range scanParallelisms[1:] {
+		top, totalEvents, _, err := r.TopKSenders(ctx, trace.Logical, 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(baseTop, top) {
+			t.Errorf("workers=%d: TopKSenders differs", workers)
+		}
+		if totalEvents != baseTotal {
+			t.Errorf("workers=%d: level total %d, want %d", workers, totalEvents, baseTotal)
+		}
+		wins, _, err := r.TimeWindows(ctx, trace.Logical, 8, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(baseWins, wins) {
+			t.Errorf("workers=%d: TimeWindows differs", workers)
+		}
+		bounds, _, err := r.PhaseBoundaries(ctx, trace.Logical, 8, 0.99, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(baseBounds, bounds) {
+			t.Errorf("workers=%d: PhaseBoundaries differs", workers)
+		}
+	}
+
+	// Cross-check TopKSenders against a trivial full-materialization count.
+	counts := make(map[int64]int64)
+	for _, rec := range tr.Records {
+		if rec.Level == trace.Logical {
+			counts[int64(rec.Sender)]++
+		}
+	}
+	for _, row := range baseTop {
+		if counts[row.Sender] != row.Events {
+			t.Errorf("sender %d: scan counted %d events, trace holds %d", row.Sender, row.Events, counts[row.Sender])
+		}
+	}
+
+	var total int64
+	for _, w := range baseWins {
+		total += w.Events
+		if w.P2P+w.Collective != w.Events {
+			t.Errorf("window %d: kinds %d+%d != events %d", w.Index, w.P2P, w.Collective, w.Events)
+		}
+	}
+	var logical int64
+	for _, n := range counts {
+		logical += n
+	}
+	if total != logical {
+		t.Errorf("windows hold %d events, trace holds %d logical events", total, logical)
+	}
+	if baseTotal != logical {
+		t.Errorf("TopKSenders reports %d level events, trace holds %d", baseTotal, logical)
+	}
+}
+
+func TestScanPruningAndProjection(t *testing.T) {
+	data, tr := buildScanStore(t, 1000, 50) // 20 partitions, times ~[0, 1000)
+	r := openBytes(t, data)
+
+	// A range covering roughly the middle tenth must prune most partitions.
+	q := Query{Columns: Cols(ColTime), Time: &TimeRange{Min: 500, Max: 550}, Workers: 4}
+	var seen int64
+	stats, err := r.Scan(context.Background(), q, func(pd *PartitionData) error {
+		seen += int64(len(pd.Time))
+		if len(pd.Sender) != 0 || len(pd.Op) != 0 {
+			t.Error("unprojected columns were decoded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pruned == 0 || stats.Partitions+stats.Pruned != 20 {
+		t.Errorf("stats = %+v, want pruning over 20 partitions", stats)
+	}
+	if stats.BlocksRead != stats.Partitions {
+		t.Errorf("one-column projection read %d blocks over %d partitions", stats.BlocksRead, stats.Partitions)
+	}
+	// Every event in the range must be inside a delivered partition.
+	var want int64
+	for _, rec := range tr.Records {
+		if rec.Time >= 500 && rec.Time <= 550 {
+			want++
+		}
+	}
+	if seen < want {
+		t.Errorf("delivered partitions hold %d events, range holds %d", seen, want)
+	}
+
+	// A disjoint range prunes everything.
+	stats, err = r.Scan(context.Background(), Query{Time: &TimeRange{Min: 1e9, Max: 2e9}}, func(pd *PartitionData) error {
+		t.Error("callback ran for a fully pruned scan")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pruned != 20 || stats.Partitions != 0 {
+		t.Errorf("disjoint range: stats = %+v", stats)
+	}
+}
+
+func TestScanCallbackErrorStopsScan(t *testing.T) {
+	data, _ := buildScanStore(t, 1000, 10)
+	r := openBytes(t, data)
+	boom := errors.New("boom")
+	calls := 0
+	_, err := r.Scan(context.Background(), Query{Workers: 8}, func(pd *PartitionData) error {
+		calls++
+		if pd.Index >= 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Scan error = %v, want the callback's", err)
+	}
+	if calls != 4 {
+		t.Errorf("callback ran %d times after the error, want 4 (sequenced order)", calls)
+	}
+}
+
+// TestScanCancellationUnwindsWorkers cancels mid-scan and asserts the
+// scan returns promptly with the context error and leaks no workers.
+func TestScanCancellationUnwindsWorkers(t *testing.T) {
+	data, _ := buildScanStore(t, 4000, 8) // 500 partitions keeps the pool busy
+	r := openBytes(t, data)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var delivered atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := r.Scan(ctx, Query{Workers: 8}, func(pd *PartitionData) error {
+			if delivered.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Scan error = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Scan did not unwind after cancellation")
+	}
+	cancel()
+
+	// Workers must have exited by the time Scan returns; poll briefly to
+	// let the runtime retire them before comparing counts.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines grew from %d to %d after a cancelled scan", before, now)
+	}
+}
+
+func TestScanContextAlreadyCancelled(t *testing.T) {
+	data, _ := buildScanStore(t, 100, 10)
+	r := openBytes(t, data)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.Scan(ctx, Query{Workers: 2}, func(pd *PartitionData) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Scan on a dead context = %v, want context.Canceled", err)
+	}
+}
+
+func TestScanCorruptBlockSurfacesError(t *testing.T) {
+	data, _ := buildScanStore(t, 400, 16)
+	// Flip a byte inside the partition data area (after the header, well
+	// before the footer) and re-open: the footer is intact, so the scan
+	// starts and the poisoned block must fail it.
+	mutated := append([]byte(nil), data...)
+	mutated[len(mutated)/3] ^= 0x01
+	r2, err := NewReader(bytes.NewReader(mutated), int64(len(mutated)))
+	if err != nil {
+		// The flip landed in a checksummed structural region; equally a
+		// rejection, nothing more to scan.
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("NewReader error %v does not wrap ErrCorrupt", err)
+		}
+		return
+	}
+	_, err = r2.Scan(context.Background(), Query{Workers: 4}, func(pd *PartitionData) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("scan over a poisoned block = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTopKSendersTruncationAndTies(t *testing.T) {
+	tr := trace.New("ties", 8)
+	// senders 0..3 with counts 4,3,3,1
+	for i, s := range []int{0, 0, 0, 0, 1, 1, 1, 2, 2, 2, 3} {
+		tr.Append(trace.Record{Time: float64(i), Sender: s, Op: "send", Level: trace.Logical})
+	}
+	data := encodeStore(t, tr, 4)
+	r := openBytes(t, data)
+	rows, total, _, err := r.TopKSenders(context.Background(), trace.Logical, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SenderCount{{Sender: 0, Events: 4}, {Sender: 1, Events: 3}, {Sender: 2, Events: 3}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("TopKSenders = %+v, want %+v", rows, want)
+	}
+	if total != 11 {
+		t.Errorf("level total = %d, want 11 (truncation must not shrink the denominator)", total)
+	}
+}
+
+func TestPhaseBoundariesDetectsShift(t *testing.T) {
+	tr := trace.New("phases", 16)
+	// First half: senders {0,1}; second half: senders {8,9} — one clean
+	// boundary at the midpoint.
+	for i := 0; i < 400; i++ {
+		s := i % 2
+		if i >= 200 {
+			s = 8 + i%2
+		}
+		tr.Append(trace.Record{Time: float64(i), Sender: s, Op: "send", Level: trace.Logical})
+	}
+	data := encodeStore(t, tr, 32)
+	r := openBytes(t, data)
+	bounds, _, err := r.PhaseBoundaries(context.Background(), trace.Logical, 4, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 1 || bounds[0].Window != 2 || bounds[0].Similarity != 0 {
+		t.Errorf("PhaseBoundaries = %+v, want one disjoint boundary at window 2", bounds)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"mpipredict/internal/stream"
 	"mpipredict/internal/trace"
 	"mpipredict/internal/tracecache"
+	"mpipredict/internal/tracestore"
 	"mpipredict/internal/wire"
 	"mpipredict/internal/workloads"
 )
@@ -490,8 +491,23 @@ func ReplayTrace(ctx context.Context, baseURL string, tr *Trace, opts ReplayOpti
 // SaveTrace and LoadTrace persist traces as JSON lines.
 func SaveTrace(path string, tr *Trace) error { return trace.SaveFile(path, tr) }
 
-// LoadTrace reads a trace previously written with SaveTrace.
-func LoadTrace(path string) (*Trace, error) { return trace.LoadFile(path) }
+// LoadTrace reads a trace in any supported format — JSONL, binary .mpt
+// or columnar .mpts — via the trace.Open sniffing point.
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// SaveTraceStore persists a trace as a partitioned columnar store
+// (.mpts): the analytics-oriented on-disk format whose projected,
+// footer-pruned parallel scans answer workload queries without
+// materializing the trace. Written atomically (temp file + rename).
+func SaveTraceStore(path string, tr *Trace) error { return tracestore.SaveTrace(path, tr) }
+
+// OpenTraceStore opens a .mpts file for scanning. The returned
+// TraceStore exposes the partition scanner and the built-in
+// aggregations (TopKSenders, TimeWindows, PhaseBoundaries).
+func OpenTraceStore(path string) (*TraceStore, error) { return tracestore.Open(path) }
+
+// TraceStore is a reader over the partitioned columnar trace format.
+type TraceStore = tracestore.Reader
 
 // ReplayBuffers replays a trace through the Section 2.1 prediction-driven
 // buffer manager.

@@ -98,6 +98,29 @@ func TestFacadeRunProgramAndTraceIO(t *testing.T) {
 	if loaded.Len() != tr.Len() {
 		t.Errorf("round-trip changed record count: %d vs %d", loaded.Len(), tr.Len())
 	}
+
+	// The columnar store round-trips through the facade too: save as
+	// .mpts, scan it through the store reader, load it via the generic
+	// LoadTrace sniffing point.
+	storePath := filepath.Join(t.TempDir(), "trace.mpts")
+	if err := SaveTraceStore(storePath, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenTraceStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Events() != int64(tr.Len()) {
+		t.Errorf("store indexes %d events, trace holds %d", r.Events(), tr.Len())
+	}
+	fromStore, err := LoadTrace(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromStore.Len() != tr.Len() {
+		t.Errorf("store round-trip changed record count: %d vs %d", fromStore.Len(), tr.Len())
+	}
 }
 
 func TestFacadeScalabilityReplay(t *testing.T) {

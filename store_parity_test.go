@@ -1,0 +1,81 @@
+package mpipredict
+
+// The .mpts parity suite: the columnar trace store is a second on-disk
+// representation of the exact same event stream, and this file pins the
+// property everything downstream relies on — evaluating a store is
+// hit-for-hit indistinguishable from evaluating the flat .mpt it mirrors.
+// Every corpus workload × every registered strategy runs EvaluateSource
+// over both formats and requires deep equality of the full result
+// (hits, misses, per-horizon accuracy, reordering diagnostics — all of
+// it), plus Table 1 characterisation equality.
+
+import (
+	"reflect"
+	"testing"
+
+	"mpipredict/internal/evalx"
+	"mpipredict/internal/strategy"
+	"mpipredict/internal/stream"
+	"mpipredict/internal/workloads"
+)
+
+// corpusReplayReceiver picks the receiver a CLI replay of the file would
+// evaluate, identically for both formats.
+func corpusReplayReceiver(t *testing.T, path string) int {
+	t.Helper()
+	src, err := stream.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _ := stream.MetaOf(src)
+	receivers, err := stream.Receivers(src)
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := workloads.PickReplayReceiver(md.App, md.Procs, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return receiver
+}
+
+func TestStoreEvaluateSourceParityFullCorpus(t *testing.T) {
+	for _, c := range corpusSpecs() {
+		t.Run(c.File, func(t *testing.T) {
+			mpt := corpusPath(c.File)
+			mpts := corpusPath(storeCorpusFile(c.File))
+			recv := corpusReplayReceiver(t, mpt)
+			if storeRecv := corpusReplayReceiver(t, mpts); storeRecv != recv {
+				t.Fatalf("replay receiver differs by format: %d vs %d", recv, storeRecv)
+			}
+
+			row, err := evalx.Table1RowFromSource(stream.FileOpener(mpt), recv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			storeRow, err := evalx.Table1RowFromSource(stream.FileOpener(mpts), recv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(row, storeRow) {
+				t.Errorf("Table1 characterisation differs between formats:\n.mpt  %+v\n.mpts %+v", row, storeRow)
+			}
+
+			for _, name := range strategy.Names() {
+				opts := evalx.Options{Strategy: name}
+				res, err := evalx.EvaluateSource(stream.FileOpener(mpt), recv, opts)
+				if err != nil {
+					t.Fatalf("%s over .mpt: %v", name, err)
+				}
+				storeRes, err := evalx.EvaluateSource(stream.FileOpener(mpts), recv, opts)
+				if err != nil {
+					t.Fatalf("%s over .mpts: %v", name, err)
+				}
+				if !reflect.DeepEqual(res, storeRes) {
+					t.Errorf("strategy %s: EvaluateSource over .mpts differs from .mpt", name)
+				}
+			}
+		})
+	}
+}

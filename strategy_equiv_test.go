@@ -23,7 +23,7 @@ import (
 // corpusStreams yields every (stream, label) pair of one corpus trace.
 func corpusStreams(t *testing.T, file string) map[string][]int64 {
 	t.Helper()
-	tr, err := trace.LoadBinaryFile(corpusPath(file))
+	tr, err := trace.Load(corpusPath(file))
 	if err != nil {
 		t.Fatal(err)
 	}
