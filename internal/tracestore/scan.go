@@ -109,11 +109,21 @@ func (r *Reader) Scan(ctx context.Context, q Query, fn func(*PartitionData) erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for job := range jobs {
+			for {
+				// Acquire the buffer BEFORE taking a job: every job pulled
+				// from the FIFO then decodes and parks without blocking, so
+				// the sequencer's cursor always progresses. Pulling the job
+				// first can drain the pool into results parked ahead of the
+				// cursor while the cursor's own job sits bufferless —
+				// deadlock.
 				var pd *PartitionData
 				select {
 				case pd = <-free:
 				case <-ctx.Done():
+					return
+				}
+				job, ok := <-jobs
+				if !ok {
 					return
 				}
 				if err := r.ReadPartition(job.part, cols, pd); err != nil {
@@ -124,11 +134,9 @@ func (r *Reader) Scan(ctx context.Context, q Query, fn func(*PartitionData) erro
 					cancel()
 					return
 				}
-				select {
-				case results[job.pos] <- pd:
-				case <-ctx.Done():
-					return
-				}
+				// Buffered (cap 1) with exactly one send per position:
+				// never blocks.
+				results[job.pos] <- pd
 			}
 		}()
 	}

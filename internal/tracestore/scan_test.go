@@ -272,6 +272,36 @@ func TestScanCancellationUnwindsWorkers(t *testing.T) {
 	}
 }
 
+// TestScanLivenessUnderBufferContention regression-tests a deadlock
+// where workers pulled a job from the FIFO before acquiring a decode
+// buffer: fast workers could park every pool buffer at positions ahead
+// of the sequencer's cursor while the cursor's own job sat bufferless,
+// wedging the scan forever. Many tiny partitions over a 2-worker pool
+// (3 buffers) with the sequencer yielding between deliveries maximizes
+// the chance of a worker racing the whole pool ahead of the cursor.
+func TestScanLivenessUnderBufferContention(t *testing.T) {
+	data, _ := buildScanStore(t, 4096, 8) // 512 partitions
+	r := openBytes(t, data)
+	for iter := 0; iter < 20; iter++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := r.Scan(context.Background(), Query{Workers: 2}, func(pd *PartitionData) error {
+				runtime.Gosched()
+				return nil
+			})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("Scan deadlocked under buffer contention")
+		}
+	}
+}
+
 func TestScanContextAlreadyCancelled(t *testing.T) {
 	data, _ := buildScanStore(t, 100, 10)
 	r := openBytes(t, data)

@@ -449,6 +449,18 @@ func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
 	return sr, nil
 }
 
+// readAt wraps ReadAt for full-buffer reads. The io.ReaderAt contract
+// permits a conforming implementation to return (len(p), io.EOF) when
+// the read ends exactly at end of input — the tail read always does —
+// so a full read is a success regardless of the error value.
+func (r *Reader) readAt(buf []byte, off int64) error {
+	n, err := r.r.ReadAt(buf, off)
+	if err == io.EOF && n == len(buf) {
+		return nil
+	}
+	return err
+}
+
 func (r *Reader) readHeader() error {
 	// The header is variable length (the app name); read the maximum it
 	// can occupy, bounded by the file size.
@@ -457,7 +469,7 @@ func (r *Reader) readHeader() error {
 		maxHdr = r.size
 	}
 	buf := make([]byte, maxHdr)
-	if _, err := r.r.ReadAt(buf, 0); err != nil {
+	if err := r.readAt(buf, 0); err != nil {
 		return corruptf("reading header: %v", err)
 	}
 	if len(buf) < 4 || [4]byte(buf[:4]) != storeMagic {
@@ -504,7 +516,7 @@ func (r *Reader) readFooter() error {
 		return corruptf("file too short for a tail")
 	}
 	var tail [tailLen]byte
-	if _, err := r.r.ReadAt(tail[:], r.size-tailLen); err != nil {
+	if err := r.readAt(tail[:], r.size-tailLen); err != nil {
 		return corruptf("reading tail: %v", err)
 	}
 	if [4]byte(tail[12:16]) != tailMagic {
@@ -516,7 +528,7 @@ func (r *Reader) readFooter() error {
 	}
 	footerStart := uint64(r.size) - tailLen - footerLen
 	footer := make([]byte, footerLen)
-	if _, err := r.r.ReadAt(footer, int64(footerStart)); err != nil {
+	if err := r.readAt(footer, int64(footerStart)); err != nil {
 		return corruptf("reading footer: %v", err)
 	}
 	want := binary.LittleEndian.Uint32(tail[8:12])
@@ -715,7 +727,7 @@ func (r *Reader) ReadPartition(i int, cols ColumnSet, pd *PartitionData) error {
 				pd.raw = make([]byte, l)
 			}
 			raw := pd.raw[:l]
-			if _, err := r.r.ReadAt(raw, int64(off)); err != nil {
+			if err := r.readAt(raw, int64(off)); err != nil {
 				return corruptf("partition %d: reading %s block: %v", i, c, err)
 			}
 			if err := decodeBlock(c, raw, pm.events, r.dict, pd); err != nil {

@@ -95,6 +95,39 @@ func TestStoreRoundTrip(t *testing.T) {
 	}
 }
 
+// eofReaderAt returns (len(p), io.EOF) when a read ends exactly at end
+// of input, as the io.ReaderAt contract permits (os.File and
+// bytes.Reader happen to return nil there). NewReader takes any
+// io.ReaderAt, so such reads must not be treated as corruption.
+type eofReaderAt struct{ data []byte }
+
+func (r eofReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off > int64(len(r.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[off:])
+	if n < len(p) || off+int64(n) == int64(len(r.data)) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func TestReaderToleratesEOFAtExactEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := arbitraryTrace(rng, 200)
+	data := encodeStore(t, tr, 16)
+	r, err := NewReader(eofReaderAt{data}, int64(len(data)))
+	if err != nil {
+		t.Fatalf("NewReader over an EOF-returning ReaderAt: %v", err)
+	}
+	var pd PartitionData
+	for i := 0; i < r.Partitions(); i++ {
+		if err := r.ReadPartition(i, AllColumns, &pd); err != nil {
+			t.Fatalf("ReadPartition(%d): %v", i, err)
+		}
+	}
+}
+
 func TestStoreReaderMetadata(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	tr := arbitraryTrace(rng, 100)
